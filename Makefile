@@ -1,0 +1,36 @@
+# Cloud4Home / VStore++ — common workflows.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark, with the paper-reproduction metrics.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+repro:
+	$(GO) run ./cmd/c4h-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/surveillance
+	$(GO) run ./examples/mediaconv
+	$(GO) run ./examples/neighborhood
+
+clean:
+	$(GO) clean ./...

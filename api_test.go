@@ -1,0 +1,91 @@
+package cloud4home_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	c4h "cloud4home"
+)
+
+// TestPublicAPIEndToEnd exercises the whole system through the exported
+// surface only: build a home cloud, attach a remote cloud, store, fetch,
+// and process — exactly what examples/ and downstream users do.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	epoch := time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+	v := c4h.NewVirtualClock(epoch)
+	v.Run(func() {
+		home := c4h.NewHome(v, c4h.HomeOptions{Seed: 77})
+		cloud := c4h.NewCloud(v, home.Net())
+		home.AttachCloud(cloud)
+
+		laptop, err := home.AddNode(c4h.NodeConfig{
+			Addr:           "laptop:9000",
+			Machine:        c4h.MachineSpec{Name: "laptop", Cores: 2, GHz: 2.0, MemMB: 2048, Battery: 0.9},
+			MandatoryBytes: 1 << 30,
+			VoluntaryBytes: 1 << 30,
+			CloudGateway:   true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		desktop, err := home.AddNode(c4h.NodeConfig{
+			Addr:           "desktop:9000",
+			Machine:        c4h.MachineSpec{Name: "desktop", Cores: 4, GHz: 2.3, MemMB: 4096, Battery: 1},
+			MandatoryBytes: 4 << 30,
+			VoluntaryBytes: 4 << 30,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := desktop.DeployService(c4h.X264ConvertService(), "performance"); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, n := range home.Nodes() {
+			if err := n.Monitor().PublishOnce(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+
+		sess, err := laptop.OpenSession()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer sess.Close()
+
+		video := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 8192)
+		if _, err := sess.StoreObjectData("clips/holiday.avi", "video/avi", video, c4h.StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		fr, err := sess.FetchObject("clips/holiday.avi")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(fr.Data, video) {
+			t.Error("payload corrupted through public API")
+			return
+		}
+		pr, err := sess.Process("clips/holiday.avi", "x264", c4h.X264ConvertID)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pr.Target != "desktop:9000" {
+			t.Errorf("conversion ran at %q, want desktop", pr.Target)
+		}
+		if pr.OutputSize >= int64(len(video)) {
+			t.Errorf("conversion did not shrink: %d", pr.OutputSize)
+		}
+
+		// Policies are part of the public surface.
+		var _ c4h.StorePolicy = c4h.SizeThresholdPolicy{RemoteBytes: 1 << 20}
+		var _ c4h.DecisionPolicy = c4h.BalancedPolicy{}
+	})
+}

@@ -1,0 +1,144 @@
+// Command c4h-bench regenerates the paper's evaluation (§V): every table
+// and figure plus the design-choice ablations, printed as aligned text
+// tables. Experiments run on the deterministic virtual-time testbed, so
+// the full evaluation completes in seconds.
+//
+// Usage:
+//
+//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations] [-seed 2011]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"cloud4home/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale)")
+		seed = flag.Int64("seed", 2011, "simulation seed")
+	)
+	flag.Parse()
+	if err := run(*exp, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(exp string, seed int64) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+	ran := false
+
+	if want("fig4") {
+		res, err := experiments.RunFig4(experiments.DefaultFig4(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("table1") {
+		res, err := experiments.RunTable1(experiments.DefaultTable1(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("fig5") {
+		res, err := experiments.RunFig5(experiments.DefaultFig5(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		size, peak := res.Peak()
+		fmt.Printf("peak: %.2f MB/s at %d MB objects (paper: ≈20 MB optimum)\n\n",
+			peak, size/experiments.MB)
+		ran = true
+	}
+	if want("fig6") {
+		res, err := experiments.RunFig6(experiments.DefaultFig6(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("split") {
+		res, err := experiments.RunSplit(experiments.DefaultSplit(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("fig7") {
+		res, err := experiments.RunFig7(experiments.DefaultFig7(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("fig8") {
+		res, err := experiments.RunFig8(experiments.DefaultFig8(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("scale") {
+		res, err := experiments.RunScale(experiments.DefaultScale(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("ablations") {
+		kvRes, err := experiments.RunAblationKVCache(seed)
+		if err != nil {
+			return err
+		}
+		printTable(kvRes.Table())
+		repl, err := experiments.RunAblationReplication(seed)
+		if err != nil {
+			return err
+		}
+		printTable(repl.Table())
+		blk, err := experiments.RunAblationBlocking(seed)
+		if err != nil {
+			return err
+		}
+		printTable(blk.Table())
+		pg, err := experiments.RunAblationPageSize(seed)
+		if err != nil {
+			return err
+		}
+		printTable(pg.Table())
+		dec, err := experiments.RunAblationDecision(seed)
+		if err != nil {
+			return err
+		}
+		printTable(dec.Table())
+		meta, err := experiments.RunAblationMetadata(seed)
+		if err != nil {
+			return err
+		}
+		printTable(meta.Table())
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func printTable(t experiments.Table) {
+	fmt.Println(t.Render())
+	fmt.Println(strings.Repeat("=", 72))
+}

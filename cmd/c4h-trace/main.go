@@ -1,0 +1,160 @@
+// Command c4h-trace replays a synthetic eDonkey-style workload (the
+// §V-A trace shape: multiple clients, repeated accesses, 60 % stores /
+// 40 % fetches) against a live c4hd daemon and reports aggregate
+// latency/throughput statistics.
+//
+// Usage:
+//
+//	c4h-trace [-addr 127.0.0.1:7070] [-files 50] [-accesses 200]
+//	          [-min-mb 1] [-max-mb 4] [-clients 3] [-zipf 0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"cloud4home/internal/daemon"
+	"cloud4home/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "c4hd daemon address")
+		files    = flag.Int("files", 50, "catalogue size")
+		accesses = flag.Int("accesses", 200, "operations to replay")
+		minMB    = flag.Int64("min-mb", 1, "smallest object size (MB)")
+		maxMB    = flag.Int64("max-mb", 4, "largest object size (MB)")
+		clients  = flag.Int("clients", 3, "concurrent client connections")
+		zipf     = flag.Float64("zipf", 0, "popularity skew (0 = uniform, >1 = Zipf s)")
+		seed     = flag.Int64("seed", 1, "trace seed")
+	)
+	flag.Parse()
+
+	cfg := trace.Default(*seed)
+	cfg.Files = *files
+	cfg.Accesses = *accesses
+	cfg.Clients = *clients
+	cfg.MinSize = *minMB << 20
+	cfg.MaxSize = *maxMB << 20
+	cfg.ZipfS = *zipf
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		return err
+	}
+
+	// One connection per client; each client replays its own accesses in
+	// order, concurrently with the others.
+	perClient := make([][]trace.Access, *clients)
+	for _, a := range tr.Accesses {
+		perClient[a.Client%*clients] = append(perClient[a.Client%*clients], a)
+	}
+
+	type sample struct {
+		kind  trace.OpKind
+		d     time.Duration
+		bytes int64
+	}
+	var mu sync.Mutex
+	var samples []sample
+	var firstErr error
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for ci, ops := range perClient {
+		ci, ops := ci, ops
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := daemon.Dial(*addr, 5*time.Second)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			defer client.Close()
+			stored := map[int]bool{}
+			for _, a := range ops {
+				f := tr.Files[a.File]
+				name := fmt.Sprintf("trace/%d/%s", ci, f.Name)
+				var d time.Duration
+				var opErr error
+				t0 := time.Now()
+				if a.Kind == trace.OpStore || !stored[a.File] {
+					_, opErr = client.Store(name, f.Type, nil, f.Size, "")
+					if opErr == nil {
+						stored[a.File] = true
+					}
+					d = time.Since(t0)
+					mu.Lock()
+					samples = append(samples, sample{trace.OpStore, d, f.Size})
+					mu.Unlock()
+				} else {
+					_, opErr = client.Fetch(name, "")
+					d = time.Since(t0)
+					mu.Lock()
+					samples = append(samples, sample{trace.OpFetch, d, f.Size})
+					mu.Unlock()
+				}
+				if opErr != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("client %d %s %s: %w", ci, a.Kind, name, opErr)
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	wall := time.Since(start)
+
+	report := func(kind trace.OpKind) {
+		var ds []time.Duration
+		var bytes int64
+		for _, s := range samples {
+			if s.kind == kind {
+				ds = append(ds, s.d)
+				bytes += s.bytes
+			}
+		}
+		if len(ds) == 0 {
+			return
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		mean := sum / time.Duration(len(ds))
+		p95 := ds[len(ds)*95/100]
+		fmt.Printf("%-6s ops=%-5d mean=%-10v p95=%-10v moved=%dMB\n",
+			kind, len(ds), mean.Round(time.Millisecond), p95.Round(time.Millisecond), bytes>>20)
+	}
+	fmt.Printf("replayed %d accesses over %d files with %d clients in %v\n",
+		len(samples), *files, *clients, wall.Round(time.Millisecond))
+	report(trace.OpStore)
+	report(trace.OpFetch)
+	var total int64
+	for _, s := range samples {
+		total += s.bytes
+	}
+	fmt.Printf("aggregate: %.2f MB/s\n", float64(total)/wall.Seconds()/(1<<20))
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package cloud4home reproduces "Cloud4Home — Enhancing Data Services
+// with @Home Clouds" (Kannan, Gavrilovska, Schwan; ICDCS 2011): the
+// VStore++ virtualized object storage-and-processing system spanning home
+// devices and a remote public cloud.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map); runnable binaries are under cmd/, usage examples under examples/,
+// and the benchmark harness regenerating every table and figure of the
+// paper's evaluation is in bench_test.go next to this file.
+package cloud4home

@@ -1,0 +1,98 @@
+package cloud4home_test
+
+import (
+	"fmt"
+	"time"
+
+	c4h "cloud4home"
+)
+
+// Example builds a minimal two-device home cloud, stores an object, and
+// fetches it back with the Table I–style cost breakdown.
+func Example() {
+	clock := c4h.NewVirtualClock(time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC))
+	clock.Run(func() {
+		home := c4h.NewHome(clock, c4h.HomeOptions{Seed: 1})
+		netbook, err := home.AddNode(c4h.NodeConfig{
+			Addr:           "netbook:9000",
+			Machine:        c4h.MachineSpec{Name: "netbook", Cores: 1, GHz: 1.66, MemMB: 512, Battery: 1},
+			MandatoryBytes: 1 << 30,
+		})
+		if err != nil {
+			fmt.Println("add node:", err)
+			return
+		}
+		if _, err := home.AddNode(c4h.NodeConfig{
+			Addr:           "desktop:9000",
+			Machine:        c4h.MachineSpec{Name: "desktop", Cores: 4, GHz: 2.3, MemMB: 2048, Battery: 1},
+			MandatoryBytes: 8 << 30,
+			VoluntaryBytes: 8 << 30,
+		}); err != nil {
+			fmt.Println("add node:", err)
+			return
+		}
+		for _, n := range home.Nodes() {
+			if err := n.Monitor().PublishOnce(); err != nil {
+				fmt.Println("publish:", err)
+				return
+			}
+		}
+
+		sess, err := netbook.OpenSession()
+		if err != nil {
+			fmt.Println("session:", err)
+			return
+		}
+		defer sess.Close()
+		if _, err := sess.StoreObjectData("hello.txt", "text", []byte("hello, home cloud"), c4h.StoreOptions{Blocking: true}); err != nil {
+			fmt.Println("store:", err)
+			return
+		}
+		res, err := sess.FetchObject("hello.txt")
+		if err != nil {
+			fmt.Println("fetch:", err)
+			return
+		}
+		fmt.Printf("fetched %q from %s\n", res.Data, res.Source)
+	})
+	// Output: fetched "hello, home cloud" from netbook:9000
+}
+
+// ExampleSession_Process shows a policy-routed processing operation: the
+// weak netbook owns the video, the decision layer runs the conversion on
+// the desktop.
+func ExampleSession_Process() {
+	clock := c4h.NewVirtualClock(time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC))
+	clock.Run(func() {
+		home := c4h.NewHome(clock, c4h.HomeOptions{Seed: 2})
+		netbook, _ := home.AddNode(c4h.NodeConfig{
+			Addr:           "netbook:9000",
+			Machine:        c4h.MachineSpec{Name: "netbook", Cores: 1, GHz: 1.66, MemMB: 512, Battery: 1},
+			MandatoryBytes: 8 << 30,
+		})
+		desktop, _ := home.AddNode(c4h.NodeConfig{
+			Addr:           "desktop:9000",
+			Machine:        c4h.MachineSpec{Name: "desktop", Cores: 4, GHz: 2.3, MemMB: 2048, Battery: 1},
+			MandatoryBytes: 8 << 30,
+			VoluntaryBytes: 8 << 30,
+		})
+		if err := desktop.DeployService(c4h.X264ConvertService(), "performance"); err != nil {
+			fmt.Println(err)
+			return
+		}
+		for _, n := range home.Nodes() {
+			_ = n.Monitor().PublishOnce()
+		}
+		sess, _ := netbook.OpenSession()
+		defer sess.Close()
+		_ = sess.CreateObject("trip.avi", "video/avi", nil)
+		_, _ = sess.StoreObject("trip.avi", nil, 20<<20, c4h.StoreOptions{Blocking: true})
+		res, err := sess.Process("trip.avi", "x264", c4h.X264ConvertID)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("converted at %s (%s)\n", res.Target, res.Mode)
+	})
+	// Output: converted at desktop:9000 (decided)
+}

@@ -1,0 +1,134 @@
+// Neighborhood: the paper's future-work scenario §VII(v) — "a
+// 'neighborhood security' system in which multiple Cloud4Home systems
+// interact to provide effective security services for entire
+// neighborhoods". Two federated home clouds share surveillance frames:
+// a camera event in one home is fetched and recognised from the other.
+//
+//	go run ./examples/neighborhood
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	c4h "cloud4home"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	clock := c4h.NewVirtualClock(time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC))
+	var runErr error
+	clock.Run(func() { runErr = demo(clock) })
+	return runErr
+}
+
+func buildHome(clock *c4h.VirtualClock, seed int64, prefix string) (*c4h.Home, *c4h.Node, error) {
+	home := c4h.NewHome(clock, c4h.HomeOptions{Seed: seed})
+	cam, err := home.AddNode(c4h.NodeConfig{
+		Addr:           prefix + "-camera:9000",
+		Machine:        c4h.MachineSpec{Name: prefix + "-camera", Cores: 1, GHz: 1.3, MemMB: 512, Battery: 1},
+		MandatoryBytes: 4 << 30,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := home.AddNode(c4h.NodeConfig{
+		Addr:           prefix + "-desktop:9000",
+		Machine:        c4h.MachineSpec{Name: prefix + "-desktop", Cores: 4, GHz: 2.3, MemMB: 2048, Battery: 1},
+		MandatoryBytes: 8 << 30,
+		VoluntaryBytes: 8 << 30,
+	}); err != nil {
+		return nil, nil, err
+	}
+	for _, n := range home.Nodes() {
+		if err := n.Monitor().PublishOnce(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return home, cam, nil
+}
+
+func demo(clock *c4h.VirtualClock) error {
+	smiths, smithCam, err := buildHome(clock, 10, "smith")
+	if err != nil {
+		return err
+	}
+	jones, jonesCam, err := buildHome(clock, 20, "jones")
+	if err != nil {
+		return err
+	}
+	// Federation: each home can resolve objects the other holds.
+	smiths.Federate(jones)
+
+	// A shared watch list: both homes know the same suspects.
+	rng := rand.New(rand.NewSource(5))
+	suspects := []string{"prowler-A", "prowler-B"}
+	watchlist := make([][]byte, len(suspects))
+	for i := range watchlist {
+		watchlist[i] = make([]byte, 16<<10)
+		rng.Read(watchlist[i])
+	}
+	smithCam.SetTrainingSet(watchlist)
+	if err := smithCam.DeployService(c4h.FaceRecognizeService(), "performance"); err != nil {
+		return err
+	}
+	if err := smithCam.Monitor().PublishOnce(); err != nil {
+		return err
+	}
+
+	// The Jones camera captures a frame of prowler-B.
+	jonesSess, err := jonesCam.OpenSession()
+	if err != nil {
+		return err
+	}
+	defer jonesSess.Close()
+	frame := make([]byte, len(watchlist[1]))
+	copy(frame, watchlist[1])
+	if _, err := jonesSess.StoreObjectData("jones/cam0/event-001.jpg", "image/jpeg", frame,
+		c4h.StoreOptions{Blocking: true}); err != nil {
+		return err
+	}
+	fmt.Println("jones home: captured jones/cam0/event-001.jpg")
+
+	// The Smith home pulls the neighbour's frame transparently (the
+	// federated lookup kicks in when the local metadata misses) and runs
+	// recognition against the shared watch list.
+	smithSess, err := smithCam.OpenSession()
+	if err != nil {
+		return err
+	}
+	defer smithSess.Close()
+	got, err := smithSess.FetchObject("jones/cam0/event-001.jpg")
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got.Data, frame) {
+		return fmt.Errorf("federated frame corrupted")
+	}
+	fmt.Printf("smith home: fetched neighbour frame from %s in %v\n",
+		got.Source, got.Breakdown.Total.Round(time.Millisecond))
+
+	// Recognise locally: store a copy under a local name, then process.
+	if _, err := smithSess.StoreObjectData("smith/incoming/event-001.jpg", "image/jpeg", got.Data,
+		c4h.StoreOptions{Blocking: true}); err != nil {
+		return err
+	}
+	rec, err := smithSess.Process("smith/incoming/event-001.jpg", "frec", c4h.FaceRecognizeID)
+	if err != nil {
+		return err
+	}
+	if rec.MatchID < 0 || rec.MatchID >= len(suspects) {
+		return fmt.Errorf("no watch-list match (id %d)", rec.MatchID)
+	}
+	fmt.Printf("smith home: ALERT — neighbourhood match: %s (processed at %s in %v)\n",
+		suspects[rec.MatchID], rec.Target, rec.Breakdown.Total.Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,3 @@
+module cloud4home
+
+go 1.22

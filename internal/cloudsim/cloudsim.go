@@ -1,0 +1,177 @@
+// Package cloudsim simulates the remote public cloud of the paper's
+// evaluation: an S3-like blocking object store and EC2-like compute
+// instances, reachable only over the wide-area path modelled by netsim
+// (GT wireless → shared Internet → Amazon). The paper's prototype wraps
+// the real S3 API ("a wrapper over the Amazon S3 interface which is a
+// blocking call that uses a TCP/IP-based data transfer mechanism", §IV);
+// here the same call shape is preserved while the transport is the
+// simulated WAN, so remote accesses exhibit the high, variable latency
+// and the slow-start/shaping throughput profile of Figs 4 and 5.
+package cloudsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cloud4home/internal/machine"
+	"cloud4home/internal/netsim"
+	"cloud4home/internal/objstore"
+	"cloud4home/internal/vclock"
+)
+
+// Errors returned by cloud operations.
+var (
+	ErrNoInstance = errors.New("cloudsim: unknown instance")
+)
+
+// Bucket is the S3 bucket name used in object URLs.
+const Bucket = "vstore"
+
+// URL returns the S3-style URL stored as the object's location value in
+// the key-value store ("URL location of object in users S3 storage
+// bucket is stored as value", §III-C).
+func URL(name string) string {
+	return fmt.Sprintf("s3://%s/%s", Bucket, name)
+}
+
+// Cloud is one remote public cloud: storage plus compute, behind a shared
+// WAN pipe that all home-cloud interactions contend on.
+type Cloud struct {
+	clock vclock.Clock
+	net   *netsim.Network
+
+	// down and up are the shared WAN pipes (cloud→home and home→cloud).
+	down, up *netsim.Resource
+
+	store *objstore.Store
+
+	mu        sync.Mutex
+	instances map[string]*machine.Machine
+}
+
+// New returns a cloud reachable through WAN pipes with the calibrated
+// testbed rates.
+func New(clock vclock.Clock, net *netsim.Network) *Cloud {
+	const unbounded = int64(1) << 50 // S3: effectively infinite storage
+	return &Cloud{
+		clock:     clock,
+		net:       net,
+		down:      netsim.NewResource("wan-down", netsim.WANDownBps),
+		up:        netsim.NewResource("wan-up", netsim.WANUpBps),
+		store:     objstore.NewMem(unbounded, 0),
+		instances: make(map[string]*machine.Machine),
+	}
+}
+
+// DownPipe returns the shared download pipe (for monitoring/degradation).
+func (c *Cloud) DownPipe() *netsim.Resource { return c.down }
+
+// UpPipe returns the shared upload pipe.
+func (c *Cloud) UpPipe() *netsim.Resource { return c.up }
+
+// StoreObject uploads an object from a home node (identified by its NIC
+// resource) into the bucket. It blocks for the full upload, like the S3
+// wrapper, and returns the object's URL and the elapsed transfer time.
+func (c *Cloud) StoreObject(srcNIC *netsim.Resource, meta objstore.Object, data []byte) (string, time.Duration, error) {
+	if data != nil {
+		meta.Size = int64(len(data))
+	}
+	path := netsim.WANUpPath(srcNIC, c.up)
+	d := c.net.Transfer(path, meta.Size)
+	if err := c.store.Put(objstore.Mandatory, meta, data); err != nil {
+		// Overwrite semantics: S3 puts replace existing keys.
+		if errors.Is(err, objstore.ErrExists) {
+			if derr := c.store.Delete(meta.Name); derr == nil {
+				err = c.store.Put(objstore.Mandatory, meta, data)
+			}
+		}
+		if err != nil {
+			return "", d, fmt.Errorf("cloudsim: store %q: %w", meta.Name, err)
+		}
+	}
+	return URL(meta.Name), d, nil
+}
+
+// FetchObject downloads an object to a home node, blocking for the full
+// transfer, and returns its metadata, payload (nil for sparse objects),
+// and the elapsed transfer time.
+func (c *Cloud) FetchObject(dstNIC *netsim.Resource, name string) (objstore.Object, []byte, time.Duration, error) {
+	meta, data, err := c.store.Get(name)
+	if err != nil {
+		return objstore.Object{}, nil, 0, fmt.Errorf("cloudsim: fetch %q: %w", name, err)
+	}
+	path := netsim.WANDownPath(c.down, dstNIC)
+	d := c.net.Transfer(path, meta.Size)
+	return meta, data, d, nil
+}
+
+// Has reports whether the bucket holds the object.
+func (c *Cloud) Has(name string) bool { return c.store.Has(name) }
+
+// Delete removes an object from the bucket.
+func (c *Cloud) Delete(name string) error { return c.store.Delete(name) }
+
+// Stat returns an object's metadata without transferring it (a metadata
+// HEAD request: one WAN round trip).
+func (c *Cloud) Stat(dstNIC *netsim.Resource, name string) (objstore.Object, error) {
+	path := netsim.WANDownPath(c.down, dstNIC)
+	c.net.Message(path)
+	meta, _, err := c.store.Stat(name)
+	if err != nil {
+		return objstore.Object{}, fmt.Errorf("cloudsim: stat %q: %w", name, err)
+	}
+	return meta, nil
+}
+
+// Seed places an object directly into the bucket with no transfer cost —
+// for "public databases of image training sets" and other state that
+// exists only in the cloud (§II).
+func (c *Cloud) Seed(meta objstore.Object, data []byte) error {
+	return c.store.Put(objstore.Mandatory, meta, data)
+}
+
+// LaunchInstance provisions an EC2-like instance. The paper's S3 host for
+// Fig 7 is an "extra large EC2 para-virtualized instance with five
+// 2.9 GHZ CPUs with 14 GB memory".
+func (c *Cloud) LaunchInstance(name string, spec machine.Spec) (*machine.Machine, error) {
+	m, err := machine.New(spec, c.clock)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.instances[name]; dup {
+		return nil, fmt.Errorf("cloudsim: instance %q already running", name)
+	}
+	c.instances[name] = m
+	return m, nil
+}
+
+// ExtraLargeSpec is the paper's EC2 instance type for service execution.
+func ExtraLargeSpec(name string) machine.Spec {
+	return machine.Spec{Name: name, Cores: 5, GHz: 2.9, MemMB: 14 << 10, Battery: 1}
+}
+
+// Instance returns a running instance's machine.
+func (c *Cloud) Instance(name string) (*machine.Machine, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.instances[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoInstance, name)
+	}
+	return m, nil
+}
+
+// TerminateInstance stops an instance.
+func (c *Cloud) TerminateInstance(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.instances[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoInstance, name)
+	}
+	delete(c.instances, name)
+	return nil
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"cloud4home/internal/core"
+	"cloud4home/internal/kv"
+	"cloud4home/internal/monitor"
+)
+
+func TestNewBuildsPaperTestbed(t *testing.T) {
+	tb, err := New(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Netbooks) != 5 {
+		t.Fatalf("%d netbooks, want 5", len(tb.Netbooks))
+	}
+	if tb.Desktop == nil {
+		t.Fatal("no desktop")
+	}
+	if len(tb.AllNodes()) != 6 {
+		t.Fatalf("AllNodes = %d, want 6", len(tb.AllNodes()))
+	}
+	if tb.Home.Cloud() == nil {
+		t.Fatal("no cloud attached")
+	}
+	if _, ok := tb.Home.Gateway(); !ok {
+		t.Fatal("no cloud gateway designated")
+	}
+	// Every node published a resource record during construction.
+	tb.Run(func() {
+		for _, n := range tb.AllNodes() {
+			if _, err := monitor.Lookup(tb.Home.KV(), tb.Desktop.ID(), n.Addr()); err != nil {
+				t.Errorf("no resource record for %s: %v", n.Addr(), err)
+			}
+		}
+	})
+}
+
+func TestCustomNetbookCountAndKV(t *testing.T) {
+	tb, err := New(Options{Seed: 2, Netbooks: 2, KV: &kv.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Netbooks) != 2 {
+		t.Fatalf("%d netbooks, want 2", len(tb.Netbooks))
+	}
+}
+
+func TestSpecsMatchPaper(t *testing.T) {
+	if s := S1Spec(); s.Cores != 1 || s.GHz != 1.3 || s.MemMB != 512 {
+		t.Fatalf("S1 = %+v", s)
+	}
+	if s := S2Spec(); s.Cores != 4 || s.GHz != 1.8 || s.MemMB != 128 {
+		t.Fatalf("S2 = %+v", s)
+	}
+	if s := S3Spec(); s.Cores != 5 || s.GHz != 2.9 || s.MemMB != 14<<10 {
+		t.Fatalf("S3 = %+v", s)
+	}
+	if s := DesktopSpec(); s.Cores != 4 || s.GHz != 2.3 {
+		t.Fatalf("desktop = %+v", s)
+	}
+	if s := NetbookSpec("n"); s.GHz != 1.66 {
+		t.Fatalf("netbook = %+v", s)
+	}
+}
+
+func TestMonitorsRunPeriodically(t *testing.T) {
+	tb, err := New(Options{Seed: 3, Netbooks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(func() {
+		tb.StartMonitors()
+		tb.V.Sleep(12 * time.Second) // past two 5 s publication periods
+		tb.StopMonitors()
+		res, err := monitor.Lookup(tb.Home.KV(), tb.Desktop.ID(), tb.Netbooks[0].Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !res.UpdatedAt.After(Epoch) {
+			t.Errorf("resource record not refreshed: %v", res.UpdatedAt)
+		}
+	})
+}
+
+func TestStoreFetchOnTestbed(t *testing.T) {
+	tb, err := New(Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(func() {
+		sess, err := tb.Netbooks[0].OpenSession()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer sess.Close()
+		if err := sess.CreateObject("smoke.bin", "blob", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("smoke.bin", nil, 5<<20, core.StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		sess2, err := tb.Desktop.OpenSession()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer sess2.Close()
+		res, err := sess2.FetchObject("smoke.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if res.Meta.Size != 5<<20 {
+			t.Errorf("fetched size %d", res.Meta.Size)
+		}
+	})
+}

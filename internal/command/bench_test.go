@@ -1,0 +1,52 @@
+package command
+
+import (
+	"bytes"
+	"testing"
+)
+
+var benchPkt = Packet{
+	Type:      TypeStore,
+	ServiceID: 101,
+	DomainID:  3,
+	ShmRef:    42,
+	Data:      []byte("surveillance/cam0/frame-000017.jpg"),
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchPkt.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	buf, err := benchPkt.MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var p Packet
+		if err := p.UnmarshalBinary(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamRoundTrip(b *testing.B) {
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, &benchPkt); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package command implements the command-based interface of §IV: "Every
+// method call in VStore++ is converted into a command. The command based
+// interface is used for communicating between virtual machines and remote
+// nodes. Each command packet consists of packet length, command type, the
+// requesting service ID, VMs domain ID, shared memory reference and
+// command data. Commands are usually less than 50 bytes and use TCP/IP
+// sockets."
+//
+// The binary layout (big endian) is:
+//
+//	offset size field
+//	0      2    payload length (bytes of Data)
+//	2      1    command type
+//	3      4    requesting service ID
+//	7      2    VM domain ID
+//	9      4    shared memory reference
+//	13     n    command data (object name, processing command, ...)
+package command
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Type identifies a command.
+type Type uint8
+
+// Command types covering every VStore++ operation (§III-B).
+const (
+	TypeCreateObject Type = iota + 1
+	TypeStore
+	TypeFetch
+	TypeProcess
+	TypeFetchProcess
+	TypeAck
+	TypeError
+	TypeResourceUpdate
+	TypeServiceRegister
+)
+
+// String renders the command type name.
+func (t Type) String() string {
+	switch t {
+	case TypeCreateObject:
+		return "create-object"
+	case TypeStore:
+		return "store"
+	case TypeFetch:
+		return "fetch"
+	case TypeProcess:
+		return "process"
+	case TypeFetchProcess:
+		return "fetch-process"
+	case TypeAck:
+		return "ack"
+	case TypeError:
+		return "error"
+	case TypeResourceUpdate:
+		return "resource-update"
+	case TypeServiceRegister:
+		return "service-register"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+func (t Type) valid() bool {
+	return t >= TypeCreateObject && t <= TypeServiceRegister
+}
+
+const (
+	headerSize = 13
+	// MaxData bounds the command payload. Commands carry names and small
+	// arguments, never object contents (those flow over xenchan or data
+	// sockets), so the bound is deliberately tight.
+	MaxData = 4096
+)
+
+// Errors returned by the codec.
+var (
+	ErrTooLarge    = errors.New("command: payload exceeds MaxData")
+	ErrShortPacket = errors.New("command: short packet")
+	ErrBadType     = errors.New("command: unknown command type")
+)
+
+// Packet is one command.
+type Packet struct {
+	Type      Type
+	ServiceID uint32
+	DomainID  uint16
+	ShmRef    uint32
+	Data      []byte
+}
+
+// WireSize returns the encoded size in bytes.
+func (p *Packet) WireSize() int { return headerSize + len(p.Data) }
+
+// MarshalBinary encodes the packet.
+func (p *Packet) MarshalBinary() ([]byte, error) {
+	if len(p.Data) > MaxData {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(p.Data))
+	}
+	if !p.Type.valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(p.Type))
+	}
+	buf := make([]byte, headerSize+len(p.Data))
+	binary.BigEndian.PutUint16(buf[0:2], uint16(len(p.Data)))
+	buf[2] = uint8(p.Type)
+	binary.BigEndian.PutUint32(buf[3:7], p.ServiceID)
+	binary.BigEndian.PutUint16(buf[7:9], p.DomainID)
+	binary.BigEndian.PutUint32(buf[9:13], p.ShmRef)
+	copy(buf[headerSize:], p.Data)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a packet from buf, which must contain exactly
+// one packet.
+func (p *Packet) UnmarshalBinary(buf []byte) error {
+	if len(buf) < headerSize {
+		return fmt.Errorf("%w: %d bytes", ErrShortPacket, len(buf))
+	}
+	n := int(binary.BigEndian.Uint16(buf[0:2]))
+	if n > MaxData {
+		return fmt.Errorf("%w: declared %d bytes", ErrTooLarge, n)
+	}
+	if len(buf) != headerSize+n {
+		return fmt.Errorf("%w: declared %d data bytes, have %d", ErrShortPacket, n, len(buf)-headerSize)
+	}
+	t := Type(buf[2])
+	if !t.valid() {
+		return fmt.Errorf("%w: %d", ErrBadType, buf[2])
+	}
+	p.Type = t
+	p.ServiceID = binary.BigEndian.Uint32(buf[3:7])
+	p.DomainID = binary.BigEndian.Uint16(buf[7:9])
+	p.ShmRef = binary.BigEndian.Uint32(buf[9:13])
+	p.Data = make([]byte, n)
+	copy(p.Data, buf[headerSize:])
+	return nil
+}
+
+// Write encodes the packet onto w (a TCP connection or xenchan stream).
+func Write(w io.Writer, p *Packet) error {
+	buf, err := p.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Read decodes one packet from r.
+func Read(r io.Reader) (*Packet, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("command: read header: %w", err)
+	}
+	n := int(binary.BigEndian.Uint16(hdr[0:2]))
+	if n > MaxData {
+		return nil, fmt.Errorf("%w: declared %d bytes", ErrTooLarge, n)
+	}
+	buf := make([]byte, headerSize+n)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerSize:]); err != nil {
+		return nil, fmt.Errorf("command: read payload: %w", err)
+	}
+	var p Packet
+	if err := p.UnmarshalBinary(buf); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

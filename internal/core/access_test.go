@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"cloud4home/internal/kv"
+	"cloud4home/internal/policy"
+)
+
+func TestUnownedObjectsStayOpen(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		// No principal set: the base prototype's behaviour.
+		if _, err := sess.StoreObjectData("open.bin", "b", []byte("x"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		other, _ := tb.desktop.OpenSession()
+		defer other.Close()
+		other.SetPrincipal("stranger@desktop")
+		if _, err := other.FetchObject("open.bin"); err != nil {
+			t.Errorf("unowned object must stay open: %v", err)
+		}
+	})
+}
+
+func TestOwnedObjectDeniedToStrangers(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		owner, _ := tb.atom.OpenSession()
+		defer owner.Close()
+		owner.SetPrincipal("alice@atom")
+		if _, err := owner.StoreObjectData("diary.txt", "text", []byte("secret"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		// The owner can read it back.
+		if _, err := owner.FetchObject("diary.txt"); err != nil {
+			t.Errorf("owner denied: %v", err)
+			return
+		}
+		// A stranger cannot fetch or process it.
+		stranger, _ := tb.desktop.OpenSession()
+		defer stranger.Close()
+		stranger.SetPrincipal("mallory@desktop")
+		if _, err := stranger.FetchObject("diary.txt"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("stranger fetch: got %v, want ErrAccessDenied", err)
+		}
+		if _, err := stranger.Process("diary.txt", "fdet", 101); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("stranger process: got %v, want ErrAccessDenied", err)
+		}
+		// An anonymous session is also denied.
+		anon, _ := tb.netbook.OpenSession()
+		defer anon.Close()
+		if _, err := anon.FetchObject("diary.txt"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("anonymous fetch: got %v, want ErrAccessDenied", err)
+		}
+	})
+}
+
+func TestGrantAndRevoke(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		owner, _ := tb.atom.OpenSession()
+		defer owner.Close()
+		owner.SetPrincipal("alice@atom")
+		if _, err := owner.StoreObjectData("shared.jpg", "image", []byte("pixels"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		friend, _ := tb.desktop.OpenSession()
+		defer friend.Close()
+		friend.SetPrincipal("bob@desktop")
+
+		if _, err := friend.FetchObject("shared.jpg"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("before grant: got %v, want ErrAccessDenied", err)
+			return
+		}
+		if err := owner.Grant("shared.jpg", "bob@desktop"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := friend.FetchObject("shared.jpg"); err != nil {
+			t.Errorf("after grant: %v", err)
+			return
+		}
+		if err := owner.Revoke("shared.jpg", "bob@desktop"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := friend.FetchObject("shared.jpg"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("after revoke: got %v, want ErrAccessDenied", err)
+		}
+	})
+}
+
+func TestOnlyOwnerManagesACL(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		owner, _ := tb.atom.OpenSession()
+		defer owner.Close()
+		owner.SetPrincipal("alice@atom")
+		if _, err := owner.StoreObjectData("locked.bin", "b", []byte("x"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		mallory, _ := tb.desktop.OpenSession()
+		defer mallory.Close()
+		mallory.SetPrincipal("mallory@desktop")
+		if err := mallory.Grant("locked.bin", "mallory@desktop"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("non-owner grant: got %v, want ErrAccessDenied", err)
+		}
+		if err := mallory.Revoke("locked.bin", "alice@atom"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("non-owner revoke: got %v, want ErrAccessDenied", err)
+		}
+		// Granting on an unowned object is rejected (nothing authorises it).
+		anon, _ := tb.netbook.OpenSession()
+		defer anon.Close()
+		if _, err := anon.StoreObjectData("unowned.bin", "b", []byte("y"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := anon.Grant("unowned.bin", "anyone"); err == nil {
+			t.Error("grant on unowned object succeeded")
+		}
+	})
+}
+
+func TestWildcardACL(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		owner, _ := tb.atom.OpenSession()
+		defer owner.Close()
+		owner.SetPrincipal("alice@atom")
+		if _, err := owner.StoreObjectData("public.jpg", "image", []byte("z"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := owner.Grant("public.jpg", "*"); err != nil {
+			t.Error(err)
+			return
+		}
+		anyone, _ := tb.desktop.OpenSession()
+		defer anyone.Close()
+		anyone.SetPrincipal("whoever@desktop")
+		if _, err := anyone.FetchObject("public.jpg"); err != nil {
+			t.Errorf("wildcard grant did not open the object: %v", err)
+		}
+	})
+}
+
+func TestDeleteObjectLocalPeerCloud(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		// Local object.
+		if _, err := sess.StoreObjectData("del-local.bin", "b", []byte("1"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Cloud object.
+		if err := sess.CreateObject("del-cloud.bin", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("del-cloud.bin", nil, 2<<20,
+			StoreOptions{Blocking: true, Policy: policy.SizeThreshold{RemoteBytes: 1}}); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, name := range []string{"del-local.bin", "del-cloud.bin"} {
+			if err := sess.DeleteObject(name); err != nil {
+				t.Errorf("delete %s: %v", name, err)
+				continue
+			}
+			if _, err := sess.FetchObject(name); !errors.Is(err, ErrObjectNotFound) {
+				t.Errorf("fetch %s after delete: %v, want ErrObjectNotFound", name, err)
+			}
+		}
+		if tb.atom.ObjectStore().Has("del-local.bin") {
+			t.Error("local payload not removed")
+		}
+		if tb.cloud.Has("del-cloud.bin") {
+			t.Error("cloud payload not removed")
+		}
+		// Deleting a missing object reports not found.
+		if err := sess.DeleteObject("never-was.bin"); !errors.Is(err, ErrObjectNotFound) {
+			t.Errorf("got %v, want ErrObjectNotFound", err)
+		}
+	})
+}
+
+func TestDeleteRequiresOwnership(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		owner, _ := tb.atom.OpenSession()
+		defer owner.Close()
+		owner.SetPrincipal("alice@atom")
+		if _, err := owner.StoreObjectData("precious.bin", "b", []byte("x"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		mallory, _ := tb.desktop.OpenSession()
+		defer mallory.Close()
+		mallory.SetPrincipal("mallory@desktop")
+		if err := mallory.DeleteObject("precious.bin"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("non-owner delete: got %v, want ErrAccessDenied", err)
+		}
+		if err := owner.DeleteObject("precious.bin"); err != nil {
+			t.Errorf("owner delete: %v", err)
+		}
+	})
+}
+
+func TestSpaceReusableAfterDelete(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		// Fill the mandatory bin completely, delete, then store again.
+		if err := sess.CreateObject("big-1", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("big-1", nil, 2*GB, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sess.DeleteObject("big-1"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sess.CreateObject("big-2", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := sess.StoreObject("big-2", nil, 2*GB, StoreOptions{Blocking: true})
+		if err != nil {
+			t.Errorf("store after delete: %v", err)
+			return
+		}
+		if res.Target != policy.TargetLocal {
+			t.Errorf("freed space not reused: placed at %v", res.Target)
+		}
+	})
+}
+
+func TestAccessCheckedBeforePayloadMoves(t *testing.T) {
+	// Denial must happen at metadata resolution: a rejected fetch of a
+	// large peer-held object must not pay the inter-node transfer.
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		owner, _ := tb.desktop.OpenSession()
+		defer owner.Close()
+		owner.SetPrincipal("alice@desktop")
+		if err := owner.CreateObject("huge-private.bin", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := owner.StoreObject("huge-private.bin", nil, 100<<20, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		mallory, _ := tb.atom.OpenSession()
+		defer mallory.Close()
+		mallory.SetPrincipal("mallory@atom")
+		start := tb.v.Now()
+		if _, err := mallory.FetchObject("huge-private.bin"); !errors.Is(err, ErrAccessDenied) {
+			t.Errorf("got %v, want ErrAccessDenied", err)
+			return
+		}
+		elapsed := tb.v.Now().Sub(start)
+		// A 100 MB inter-node move costs ≈14 s; a metadata-only denial
+		// costs tens of milliseconds.
+		if elapsed > time.Second {
+			t.Errorf("denied fetch took %v; the payload must not have moved", elapsed)
+		}
+	})
+}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cloud4home/internal/kv"
+	"cloud4home/internal/policy"
+	"cloud4home/internal/services"
+)
+
+// These tests cover the paper's future-work item (iv): "mechanisms that
+// adapt to the changing network conditions". The monitor publishes
+// current link state and the decision layer's movement estimates read
+// live capacities, so degradations change routing decisions.
+
+func TestDecisionAdaptsToFabricDegradation(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		x264 := services.X264Convert()
+		if err := tb.atom.DeployService(x264, ""); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tb.desktop.DeployService(x264, ""); err != nil {
+			t.Error(err)
+			return
+		}
+		tb.publish()
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if err := sess.CreateObject("vid.avi", "video", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("vid.avi", nil, 20<<20, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+
+		// Healthy LAN: the desktop wins despite the movement cost.
+		pr, err := sess.Process("vid.avi", "x264", services.X264ConvertID)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pr.Target != "desktop:9000" {
+			t.Errorf("healthy LAN: chose %q, want desktop", pr.Target)
+			return
+		}
+
+		// The LAN collapses to a trickle: moving 20 MB would now dwarf
+		// the desktop's compute advantage, so the decision keeps the work
+		// at the owner.
+		tb.home.Fabric().Degrade(0.001)
+		defer tb.home.Fabric().Restore()
+		tb.publish()
+		pr, err = sess.Process("vid.avi", "x264", services.X264ConvertID)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pr.Target != "atom:9000" {
+			t.Errorf("degraded LAN: chose %q, want atom (owner, no movement)", pr.Target)
+		}
+	})
+}
+
+func TestFetchSlowsUnderWANDegradation(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if err := sess.CreateObject("r.bin", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("r.bin", nil, 5<<20,
+			StoreOptions{Blocking: true, Policy: policy.SizeThreshold{RemoteBytes: 1}}); err != nil {
+			t.Error(err)
+			return
+		}
+		before, err := sess.FetchObject("r.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		tb.cloud.DownPipe().Degrade(0.25)
+		defer tb.cloud.DownPipe().Restore()
+		after, err := sess.FetchObject("r.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if after.Breakdown.Total < 2*before.Breakdown.Total {
+			t.Errorf("WAN degraded 4x but fetch went %v -> %v", before.Breakdown.Total, after.Breakdown.Total)
+		}
+	})
+}
+
+func TestGracefulDepartureEvacuatesObjects(t *testing.T) {
+	tb := newTestbed(t, kv.Options{ReplicationFactor: 1})
+	tb.run(func() {
+		sess, _ := tb.netbook.OpenSession()
+		defer sess.Close()
+		var names []string
+		for i := 0; i < 5; i++ {
+			name := fmt.Sprintf("evac-%d.bin", i)
+			if _, err := sess.StoreObjectData(name, "b", []byte(fmt.Sprintf("payload-%d", i)), StoreOptions{Blocking: true}); err != nil {
+				t.Error(err)
+				return
+			}
+			names = append(names, name)
+		}
+		// The holder leaves gracefully: every object must remain
+		// fetchable with intact payload.
+		if err := tb.home.RemoveNode("netbook:9000", true); err != nil {
+			t.Error(err)
+			return
+		}
+		reader, _ := tb.atom.OpenSession()
+		defer reader.Close()
+		for i, name := range names {
+			fr, err := reader.FetchObject(name)
+			if err != nil {
+				t.Errorf("object %s lost after graceful departure: %v", name, err)
+				continue
+			}
+			if want := fmt.Sprintf("payload-%d", i); string(fr.Data) != want {
+				t.Errorf("object %s corrupted: %q", name, fr.Data)
+			}
+			if fr.Source == "netbook:9000" {
+				t.Errorf("object %s still attributed to the departed node", name)
+			}
+		}
+	})
+}
+
+func TestCrashLosesOnlyLocalPayloads(t *testing.T) {
+	tb := newTestbed(t, kv.Options{ReplicationFactor: 2})
+	tb.run(func() {
+		nbSess, _ := tb.netbook.OpenSession()
+		defer nbSess.Close()
+		atomSess, _ := tb.atom.OpenSession()
+		defer atomSess.Close()
+		if _, err := nbSess.StoreObjectData("on-victim.bin", "b", []byte("v"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := atomSess.StoreObjectData("elsewhere.bin", "b", []byte("e"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Crash the netbook: its payload is gone, the atom's survives.
+		if err := tb.home.RemoveNode("netbook:9000", false); err != nil {
+			t.Error(err)
+			return
+		}
+		reader, _ := tb.desktop.OpenSession()
+		defer reader.Close()
+		if _, err := reader.FetchObject("on-victim.bin"); !errors.Is(err, ErrObjectNotFound) {
+			t.Errorf("crashed holder's object: got %v, want ErrObjectNotFound", err)
+		}
+		if _, err := reader.FetchObject("elsewhere.bin"); err != nil {
+			t.Errorf("unrelated object lost in crash: %v", err)
+		}
+	})
+}
+
+func TestWirelessNodesSlowerAndAvoided(t *testing.T) {
+	// §I: home interactions cross "a mix of wired and wireless links".
+	// A wireless device's transfers are slower and the decision layer
+	// prefers wired hosts when movement matters.
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		wifi, err := tb.home.AddNode(NodeConfig{
+			Addr:           "tablet:9000",
+			Machine:        desktopSpec(), // same compute as the desktop
+			MandatoryBytes: 4 * GB,
+			VoluntaryBytes: 4 * GB,
+			Wireless:       true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = wifi.Monitor().PublishOnce()
+		tb.publish()
+
+		// Fetching from the wireless holder is slower than from a wired one.
+		wifiSess, _ := wifi.OpenSession()
+		defer wifiSess.Close()
+		if _, err := wifiSess.StoreObjectData("on-wifi.bin", "b", make([]byte, 4<<20), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		deskSess, _ := tb.desktop.OpenSession()
+		defer deskSess.Close()
+		if _, err := deskSess.StoreObjectData("on-wire.bin", "b", make([]byte, 4<<20), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		reader, _ := tb.atom.OpenSession()
+		defer reader.Close()
+		fromWifi, err := reader.FetchObject("on-wifi.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fromWire, err := reader.FetchObject("on-wire.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if fromWifi.Breakdown.InterNode < 2*fromWire.Breakdown.InterNode {
+			t.Errorf("wireless inter-node %v not ≫ wired %v",
+				fromWifi.Breakdown.InterNode, fromWire.Breakdown.InterNode)
+		}
+
+		// Identical compute, but the wired desktop wins the placement
+		// decision: moving the video over WiFi costs too much.
+		x264 := services.X264Convert()
+		if err := wifi.DeployService(x264, ""); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tb.desktop.DeployService(x264, ""); err != nil {
+			t.Error(err)
+			return
+		}
+		tb.publish()
+		_ = wifi.Monitor().PublishOnce()
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if err := sess.CreateObject("wifi-dec.avi", "video", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("wifi-dec.avi", nil, 30<<20, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		pr, err := sess.Process("wifi-dec.avi", "x264", services.X264ConvertID)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pr.Target != "desktop:9000" {
+			t.Errorf("decision chose %q; the wired desktop should beat the wireless twin", pr.Target)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cloud4home/internal/command"
+	"cloud4home/internal/netsim"
+)
+
+// FetchBreakdown is the per-phase cost profile of a fetch — the columns
+// of Table I.
+type FetchBreakdown struct {
+	// DHTLookup is the metadata layer's cost (constant for a fixed-size
+	// home cloud, independent of object size).
+	DHTLookup time.Duration
+	// InterNode is the cost of moving the object from its holder to the
+	// requesting node (zero when held locally).
+	InterNode time.Duration
+	// InterDomain is the dom0→guest shared-memory transfer.
+	InterDomain time.Duration
+	// Total is the caller-observed latency.
+	Total time.Duration
+}
+
+// FetchResult reports a completed fetch.
+type FetchResult struct {
+	Meta ObjectMeta
+	// Data is the payload; nil for sparse (cost-model-only) objects.
+	Data []byte
+	// Source is where the bytes came from.
+	Source string
+	// Breakdown is the Table I cost profile.
+	Breakdown FetchBreakdown
+}
+
+// FetchObject retrieves an object by name: the metadata layer locates it,
+// "whereupon the object is requested from the owner location specified in
+// Chimera. Once the object is fetched, it is passed to the application's
+// guest VM" (§III-B).
+func (s *Session) FetchObject(name string) (FetchResult, error) {
+	start := s.node.clock.Now()
+	if err := s.sendCommand(command.TypeFetch, 0, name); err != nil {
+		return FetchResult{}, err
+	}
+	meta, data, source, breakdown, err := s.node.fetchToDom0(name, s.principal)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	// dom0 → guest over the shared-memory channel.
+	interDomain, err := s.interDomain(meta.Size)
+	if err != nil {
+		return FetchResult{}, err
+	}
+	breakdown.InterDomain = interDomain
+	breakdown.Total = s.node.clock.Now().Sub(start)
+	s.node.ops.fetches.Add(1)
+	s.node.ops.bytesFetched.Add(meta.Size)
+	return FetchResult{
+		Meta:      meta,
+		Data:      data,
+		Source:    source,
+		Breakdown: breakdown,
+	}, nil
+}
+
+// fetchToDom0 brings the object into this node's control domain,
+// returning the metadata, payload, source, and the partial cost
+// breakdown (lookup + inter-node phases). Access is enforced at metadata
+// resolution, before any payload moves.
+func (n *Node) fetchToDom0(name, principal string) (ObjectMeta, []byte, string, FetchBreakdown, error) {
+	var bd FetchBreakdown
+	meta, lookup, err := n.getMeta(name)
+	bd.DHTLookup = lookup
+	if err != nil {
+		// Not in this home: try federated neighbour homes (§VII v).
+		peerHome, peerMeta, ok := n.home.federatedLookup(name)
+		if !ok {
+			return ObjectMeta{}, nil, "", bd, err
+		}
+		if !peerMeta.allowed(principal) {
+			return ObjectMeta{}, nil, "", bd, fmt.Errorf("%w: %q may not access %q (owner %q)",
+				ErrAccessDenied, principal, peerMeta.Name, peerMeta.Owner)
+		}
+		data, src, interNode, ferr := n.fetchFederated(peerHome, peerMeta)
+		bd.InterNode = interNode
+		return peerMeta, data, src, bd, ferr
+	}
+	if !meta.allowed(principal) {
+		return ObjectMeta{}, nil, "", bd, fmt.Errorf("%w: %q may not access %q (owner %q)",
+			ErrAccessDenied, principal, meta.Name, meta.Owner)
+	}
+
+	switch {
+	case meta.InCloud():
+		cloud := n.home.Cloud()
+		if cloud == nil {
+			return meta, nil, "", bd, ErrNoCloud
+		}
+		_, data, d, err := cloud.FetchObject(n.nic, name)
+		bd.InterNode = d
+		if err != nil {
+			return meta, nil, "", bd, err
+		}
+		return meta, data, meta.Location, bd, nil
+
+	case meta.Location == n.addr:
+		_, data, err := n.store.Get(name)
+		if err != nil {
+			return meta, nil, "", bd, fmt.Errorf("core: fetch %q: metadata points here but: %w", name, err)
+		}
+		return meta, data, n.addr, bd, nil
+
+	default:
+		peer, ok := n.home.Node(meta.Location)
+		if !ok {
+			return meta, nil, "", bd, fmt.Errorf("%w: %q (holder %q gone)", ErrObjectNotFound, name, meta.Location)
+		}
+		// Request message to the owner, then the inter-node transfer
+		// (kernel-to-kernel zero copy in the prototype; here the netsim
+		// path charges the same wire time).
+		n.home.net.Message(n.lanPathTo(peer))
+		_, data, err := peer.store.Get(name)
+		if err != nil {
+			return meta, nil, "", bd, fmt.Errorf("core: fetch %q from %s: %w", name, peer.addr, err)
+		}
+		bd.InterNode = n.home.net.Transfer(peer.lanPathTo(n), meta.Size)
+		return meta, data, peer.addr, bd, nil
+	}
+}
+
+// fetchFederated pulls an object from a neighbour home over the
+// inter-home link.
+func (n *Node) fetchFederated(peerHome *Home, meta ObjectMeta) ([]byte, string, time.Duration, error) {
+	if meta.InCloud() {
+		cloud := peerHome.Cloud()
+		if cloud == nil {
+			return nil, "", 0, ErrNoCloud
+		}
+		_, data, d, err := cloud.FetchObject(n.nic, meta.Name)
+		return data, meta.Location, d, err
+	}
+	holder, ok := peerHome.Node(meta.Location)
+	if !ok {
+		return nil, "", 0, fmt.Errorf("%w: %q (federated holder gone)", ErrObjectNotFound, meta.Name)
+	}
+	_, data, err := holder.store.Get(meta.Name)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	// Inter-home path: both fabrics plus both NICs, with a neighbourhood
+	// RTT between the two LANs.
+	path := &netsim.Path{
+		Resources: []*netsim.Resource{holder.nic, peerHome.fabric, n.home.fabric, n.nic},
+		RTT:       12 * time.Millisecond,
+		Jitter:    netsim.LANJitter,
+	}
+	d := n.home.net.Transfer(path, meta.Size)
+	return data, holder.addr, d, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cloud4home/internal/cloudsim"
+	"cloud4home/internal/ids"
+	"cloud4home/internal/kv"
+	"cloud4home/internal/netsim"
+	"cloud4home/internal/overlay"
+	"cloud4home/internal/vclock"
+)
+
+// lanWire charges LAN cost for each overlay control message: half an RTT
+// on the wire plus per-hop protocol processing. With the calibrated
+// constants a typical 2–3 hop DHT lookup costs the paper's ≈12–16 ms
+// (Table I).
+type lanWire struct {
+	net     *netsim.Network
+	fabric  *netsim.Resource
+	perHop  time.Duration
+	msgPath *netsim.Path
+}
+
+var _ overlay.Wire = (*lanWire)(nil)
+
+func newLANWire(net *netsim.Network, fabric *netsim.Resource) *lanWire {
+	return &lanWire{
+		net:    net,
+		fabric: fabric,
+		perHop: 4 * time.Millisecond,
+		msgPath: &netsim.Path{
+			Resources: []*netsim.Resource{fabric},
+			RTT:       netsim.LANRTT,
+			Jitter:    netsim.LANJitter,
+		},
+	}
+}
+
+// Send implements overlay.Wire.
+func (w *lanWire) Send(_, _ ids.ID) {
+	w.net.Message(w.msgPath)
+	w.net.Clock().Sleep(w.perHop)
+}
+
+// Home is one Cloud4Home deployment: the overlay, the distributed
+// key-value store, the shared LAN fabric, the participating nodes, and
+// (optionally) the remote public cloud.
+type Home struct {
+	clock  vclock.Clock
+	net    *netsim.Network
+	mesh   *overlay.Mesh
+	wire   overlay.Wire
+	kv     *kv.Store
+	fabric *netsim.Resource
+	cloud  *cloudsim.Cloud
+
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	peers []*Home // federated neighbour homes (§VII v)
+}
+
+// HomeOptions configures a Home.
+type HomeOptions struct {
+	// Seed drives all simulated randomness; same seed ⇒ same run.
+	Seed int64
+	// KV configures the metadata store (replication, caching).
+	KV kv.Options
+}
+
+// NewHome builds an empty home cloud on the given clock.
+func NewHome(clock vclock.Clock, opts HomeOptions) *Home {
+	net := netsim.New(clock, opts.Seed)
+	fabric := netsim.NewResource("home-lan", netsim.LANFabricBps)
+	wire := newLANWire(net, fabric)
+	mesh := overlay.NewMesh(wire)
+	return &Home{
+		clock:  clock,
+		net:    net,
+		mesh:   mesh,
+		wire:   wire,
+		kv:     kv.New(mesh, wire, opts.KV),
+		fabric: fabric,
+		nodes:  make(map[string]*Node),
+	}
+}
+
+// Clock returns the home's clock.
+func (h *Home) Clock() vclock.Clock { return h.clock }
+
+// Net returns the home's network simulator.
+func (h *Home) Net() *netsim.Network { return h.net }
+
+// KV returns the metadata store.
+func (h *Home) KV() *kv.Store { return h.kv }
+
+// Mesh returns the overlay.
+func (h *Home) Mesh() *overlay.Mesh { return h.mesh }
+
+// Fabric returns the shared LAN resource (e.g. to degrade it).
+func (h *Home) Fabric() *netsim.Resource { return h.fabric }
+
+// Cloud returns the attached public cloud, or nil.
+func (h *Home) Cloud() *cloudsim.Cloud {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.cloud
+}
+
+// AttachCloud connects the home to a remote public cloud. Nodes flagged
+// as gateways route all remote interactions (§III-C).
+func (h *Home) AttachCloud(c *cloudsim.Cloud) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cloud = c
+}
+
+// Node returns a live node by address.
+func (h *Home) Node(addr string) (*Node, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n, ok := h.nodes[addr]
+	return n, ok
+}
+
+// Nodes returns all live nodes, ordered by address so that callers
+// iterating over the home behave deterministically.
+func (h *Home) Nodes() []*Node {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]*Node, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].addr < out[j].addr })
+	return out
+}
+
+// Gateway returns a node hosting the public cloud interface module. "At
+// least one of these nodes must provide an interface among the home and
+// remote cloud services" (§III).
+func (h *Home) Gateway() (*Node, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	for _, n := range h.nodes {
+		if n.cfg.CloudGateway {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// RemoveNode departs a node gracefully (its keys and voluntary-bin
+// objects are handed over) or crashes it.
+func (h *Home) RemoveNode(addr string, graceful bool) error {
+	h.mu.Lock()
+	n, ok := h.nodes[addr]
+	if !ok {
+		h.mu.Unlock()
+		return fmt.Errorf("core: remove node: unknown addr %q", addr)
+	}
+	delete(h.nodes, addr)
+	h.mu.Unlock()
+	return n.shutdown(graceful)
+}
+
+// Federate links this home with a neighbour home so that fetches can fall
+// through to it — the "neighborhood security" scenario of §VII(v) where
+// "multiple Cloud4Home systems interact".
+func (h *Home) Federate(peer *Home) {
+	if peer == nil || peer == h {
+		return
+	}
+	h.mu.Lock()
+	for _, p := range h.peers {
+		if p == peer {
+			h.mu.Unlock()
+			return
+		}
+	}
+	h.peers = append(h.peers, peer)
+	h.mu.Unlock()
+	peer.Federate(h)
+}
+
+// federatedLookup searches neighbour homes for an object's metadata.
+func (h *Home) federatedLookup(name string) (*Home, ObjectMeta, bool) {
+	h.mu.RLock()
+	peers := make([]*Home, len(h.peers))
+	copy(peers, h.peers)
+	h.mu.RUnlock()
+	for _, peer := range peers {
+		nodes := peer.Nodes()
+		if len(nodes) == 0 {
+			continue
+		}
+		gr, err := peer.kv.Get(nodes[0].id, ids.HashString(name))
+		if err != nil {
+			continue
+		}
+		meta, err := UnmarshalObjectMeta(gr.Value.Data)
+		if err != nil {
+			continue
+		}
+		return peer, meta, true
+	}
+	return nil, ObjectMeta{}, false
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"cloud4home/internal/ids"
+	"cloud4home/internal/objstore"
+)
+
+// ObjectMeta is the serialized value stored in the key-value store for
+// each object: "object location and metadata, such as tags, access
+// information, etc. The location field can map to a node in the local
+// home cloud or to a remote cloud" (§III-A).
+type ObjectMeta struct {
+	Name string   `json:"name"`
+	Type string   `json:"type,omitempty"`
+	Size int64    `json:"size"`
+	Tags []string `json:"tags,omitempty"`
+	// Location is the holder's address for home-cloud objects, or the
+	// object's S3-style URL for remote-cloud objects ("URL location of
+	// object in users S3 storage bucket is stored as value", §III-C).
+	Location string `json:"location"`
+	// Bin records which bin holds the object at a home node.
+	Bin string `json:"bin,omitempty"`
+	// Owner is the principal that created the object ("" = open access,
+	// the base prototype's behaviour).
+	Owner string `json:"owner,omitempty"`
+	// ACL lists additional principals allowed to access the object
+	// ("*" = everyone). Only meaningful when Owner is set.
+	ACL []string `json:"acl,omitempty"`
+}
+
+// Key returns the object's DHT key.
+func (m ObjectMeta) Key() ids.ID { return ids.HashString(m.Name) }
+
+// InCloud reports whether the object lives in the remote cloud.
+func (m ObjectMeta) InCloud() bool { return strings.HasPrefix(m.Location, "s3://") }
+
+// Marshal serializes the record.
+func (m ObjectMeta) Marshal() ([]byte, error) { return json.Marshal(m) }
+
+// UnmarshalObjectMeta parses a stored record.
+func UnmarshalObjectMeta(data []byte) (ObjectMeta, error) {
+	var m ObjectMeta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return ObjectMeta{}, fmt.Errorf("core: decode object meta: %w", err)
+	}
+	return m, nil
+}
+
+// metaFromObject builds the KV record for an object placed at location.
+func metaFromObject(o objstore.Object, location string, bin objstore.Bin) ObjectMeta {
+	m := ObjectMeta{
+		Name:     o.Name,
+		Type:     o.Type,
+		Size:     o.Size,
+		Tags:     o.Tags,
+		Owner:    o.Owner,
+		Location: location,
+	}
+	if bin != 0 {
+		m.Bin = bin.String()
+	}
+	return m
+}
+
+// CloudServiceAddr is the candidate-address prefix that marks a service
+// hosted on a remote-cloud instance, e.g. "cloud:xl-1".
+const CloudServiceAddr = "cloud:"
+
+// cloudInstanceName extracts the instance name from a cloud candidate
+// address.
+func cloudInstanceName(addr string) (string, bool) {
+	if !strings.HasPrefix(addr, CloudServiceAddr) {
+		return "", false
+	}
+	return strings.TrimPrefix(addr, CloudServiceAddr), true
+}

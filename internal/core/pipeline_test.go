@@ -1,0 +1,465 @@
+package core
+
+import (
+	"errors"
+	"io/fs"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"cloud4home/internal/kv"
+	"cloud4home/internal/objstore"
+	"cloud4home/internal/policy"
+	"cloud4home/internal/services"
+	"cloud4home/internal/vclock"
+)
+
+func TestProcessAtExplicitTargets(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		for _, n := range []*Node{tb.atom, tb.desktop} {
+			if err := n.DeployService(services.FaceDetect(), ""); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		tb.publish()
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if err := sess.CreateObject("pin.jpg", "image", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("pin.jpg", nil, 1<<20, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Pin to each host explicitly and compare: the atom owns the
+		// object, so local execution avoids the input move.
+		local, err := sess.ProcessAt("pin.jpg", "fdet", services.FaceDetectID, "atom:9000")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		remote, err := sess.ProcessAt("pin.jpg", "fdet", services.FaceDetectID, "desktop:9000")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if local.Breakdown.InputMove != 0 {
+			t.Errorf("local pin moved input: %v", local.Breakdown.InputMove)
+		}
+		if remote.Breakdown.InputMove <= 0 {
+			t.Error("remote pin did not charge input movement")
+		}
+		if local.Target != "atom:9000" || remote.Target != "desktop:9000" {
+			t.Errorf("targets: %q / %q", local.Target, remote.Target)
+		}
+		// Pinning to a host without the service fails.
+		if _, err := sess.ProcessAt("pin.jpg", "fdet", services.FaceDetectID, "netbook:9000"); !errors.Is(err, ErrServiceNotFound) {
+			t.Errorf("pin to serviceless host: got %v, want ErrServiceNotFound", err)
+		}
+	})
+}
+
+func TestProcessPipelineChainsKernels(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		rng := rand.New(rand.NewSource(6))
+		training := make([][]byte, 4)
+		for i := range training {
+			training[i] = make([]byte, 8<<10)
+			rng.Read(training[i])
+		}
+		tb.atom.SetTrainingSet(training)
+		for _, spec := range []services.Spec{services.FaceDetect(), services.FaceRecognize()} {
+			if err := tb.desktop.DeployService(spec, ""); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		tb.publish()
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if _, err := sess.StoreObjectData("pipe.jpg", "image", training[2], StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		res, err := sess.ProcessPipelineAt("pipe.jpg",
+			[]string{"fdet", "frec"},
+			[]uint32{services.FaceDetectID, services.FaceRecognizeID},
+			"desktop:9000")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// The fdet output (the image) chained into frec, which matched.
+		if res.MatchID != 2 {
+			t.Errorf("pipeline match = %d, want 2", res.MatchID)
+		}
+		if res.Service != "frec" {
+			t.Errorf("final service = %q", res.Service)
+		}
+		if res.Breakdown.Exec <= 0 || res.Breakdown.Total <= res.Breakdown.Exec {
+			t.Errorf("breakdown inconsistent: %+v", res.Breakdown)
+		}
+		// Mismatched name/id lists are rejected.
+		if _, err := sess.ProcessPipelineAt("pipe.jpg", []string{"fdet"}, nil, "desktop:9000"); err == nil {
+			t.Error("mismatched pipeline lists accepted")
+		}
+	})
+}
+
+func TestPlacementFallbackWhenPolicyTargetFull(t *testing.T) {
+	// The policy picks "local" based on stale information, but the bin
+	// has filled meanwhile: the placement chain must fall through to a
+	// peer instead of failing.
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		// Fill the atom's mandatory bin directly (beneath the policy's
+		// view of the world).
+		if err := tb.atom.ObjectStore().Put(
+			objstore.Mandatory, objstore.Object{Name: "filler", Size: 2 * GB}, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		tb.publish()
+		if err := sess.CreateObject("spill.bin", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		// Force the "local" decision via a policy that ignores free space.
+		res, err := sess.StoreObject("spill.bin", nil, 1<<30, StoreOptions{
+			Blocking: true,
+			Policy:   alwaysLocalPolicy{},
+		})
+		if err != nil {
+			t.Errorf("placement chain failed: %v", err)
+			return
+		}
+		if res.Target == policy.TargetLocal {
+			t.Error("object placed in a full bin")
+		}
+	})
+}
+
+// alwaysLocalPolicy deliberately ignores capacity, to exercise the
+// fall-through chain.
+type alwaysLocalPolicy struct{}
+
+func (alwaysLocalPolicy) Name() string { return "always-local" }
+func (alwaysLocalPolicy) Decide(policy.StoreContext) (policy.StoreDecision, error) {
+	return policy.StoreDecision{Target: policy.TargetLocal}, nil
+}
+
+func TestAccessorsAndStrings(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	if tb.atom.Addr() != "atom:9000" {
+		t.Errorf("Addr = %q", tb.atom.Addr())
+	}
+	if tb.atom.ID() == 0 {
+		t.Error("zero node ID")
+	}
+	if tb.atom.Machine() == nil || tb.atom.NIC() == nil {
+		t.Error("nil accessors")
+	}
+	if tb.home.Clock() == nil || tb.home.KV() == nil || tb.home.Mesh() == nil {
+		t.Error("nil home accessors")
+	}
+	if gw, ok := tb.home.Gateway(); !ok || gw != tb.atom {
+		t.Errorf("gateway = %v, %v", gw, ok)
+	}
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if sess.Node() != tb.atom {
+			t.Error("session node accessor wrong")
+		}
+		if sess.DomainID() == 0 {
+			t.Error("zero domain id")
+		}
+		sess.SetPrincipal("p@atom")
+		if sess.Principal() != "p@atom" {
+			t.Error("principal accessor wrong")
+		}
+	})
+	for _, m := range []ProcessMode{ModeRequester, ModeOwner, ModeDecided, ProcessMode(99)} {
+		if m.String() == "" {
+			t.Errorf("empty string for mode %d", int(m))
+		}
+	}
+}
+
+func TestFederatedCloudObject(t *testing.T) {
+	// A federated home resolves an object that its neighbour stored in
+	// the neighbour's cloud bucket.
+	v := newTestbed(t, kv.Options{})
+	v.run(func() {
+		other := NewHome(v.v, HomeOptions{Seed: 9})
+		otherCloud := v.cloud // share one public cloud, as Amazon would be
+		other.AttachCloud(otherCloud)
+		b, err := other.AddNode(NodeConfig{
+			Addr: "b1:9000", Machine: atomSpec("b1"),
+			MandatoryBytes: GB, CloudGateway: true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		v.home.Federate(other)
+
+		sessB, _ := b.OpenSession()
+		defer sessB.Close()
+		if err := sessB.CreateObject("fed/incloud.bin", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sessB.StoreObject("fed/incloud.bin", nil, 2<<20,
+			StoreOptions{Blocking: true, Policy: policy.SizeThreshold{RemoteBytes: 1}}); err != nil {
+			t.Error(err)
+			return
+		}
+		sessA, _ := v.atom.OpenSession()
+		defer sessA.Close()
+		fr, err := sessA.FetchObject("fed/incloud.bin")
+		if err != nil {
+			t.Errorf("federated cloud fetch: %v", err)
+			return
+		}
+		if fr.Meta.Size != 2<<20 {
+			t.Errorf("size = %d", fr.Meta.Size)
+		}
+	})
+}
+
+func TestOpenSessionAssignsDistinctDomains(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		seen := map[uint16]bool{}
+		for i := 0; i < 5; i++ {
+			sess, err := tb.atom.OpenSession()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if seen[sess.DomainID()] {
+				t.Errorf("duplicate domain id %d", sess.DomainID())
+			}
+			seen[sess.DomainID()] = true
+			sess.Close()
+		}
+	})
+}
+
+func TestStoreObjectNegativeSizeRejected(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if err := sess.CreateObject("neg.bin", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("neg.bin", nil, -1, StoreOptions{Blocking: true}); err == nil {
+			t.Error("negative size accepted")
+		}
+	})
+}
+
+func TestCreateObjectEmptyNameRejected(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if err := sess.CreateObject("", "b", nil); err == nil {
+			t.Error("empty object name accepted")
+		}
+	})
+}
+
+func TestUndeployServiceRemovesRegistration(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		spec := services.FaceDetect()
+		if err := tb.desktop.DeployService(spec, ""); err != nil {
+			t.Error(err)
+			return
+		}
+		tb.publish()
+		if !tb.desktop.HasService("fdet", services.FaceDetectID) {
+			t.Error("service not deployed")
+			return
+		}
+		if err := tb.desktop.UndeployService(spec); err != nil {
+			t.Error(err)
+			return
+		}
+		if tb.desktop.HasService("fdet", services.FaceDetectID) {
+			t.Error("service still deployed after undeploy")
+		}
+		// Processing now fails: no host remains.
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if err := sess.CreateObject("und.jpg", "image", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("und.jpg", nil, 1<<20, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.Process("und.jpg", "fdet", services.FaceDetectID); !errors.Is(err, ErrServiceNotFound) {
+			t.Errorf("got %v, want ErrServiceNotFound", err)
+		}
+		// Double undeploy errors.
+		if err := tb.desktop.UndeployService(spec); err == nil {
+			t.Error("double undeploy succeeded")
+		}
+	})
+}
+
+func TestOpStatsCount(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		if _, err := sess.StoreObjectData("st.bin", "b", []byte("12345"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.FetchObject("st.bin"); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.FetchObject("st.bin"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := sess.DeleteObject("st.bin"); err != nil {
+			t.Error(err)
+			return
+		}
+		got := tb.atom.OpStats()
+		if got.Stores != 1 || got.Fetches != 2 || got.Deletes != 1 {
+			t.Errorf("ops = %+v, want 1 store / 2 fetches / 1 delete", got)
+		}
+		if got.BytesStored != 5 || got.BytesFetched != 10 {
+			t.Errorf("bytes = %d stored / %d fetched, want 5 / 10", got.BytesStored, got.BytesFetched)
+		}
+		// Other nodes were not charged.
+		if other := tb.desktop.OpStats(); other.Stores != 0 || other.Fetches != 0 {
+			t.Errorf("desktop charged with foreign ops: %+v", other)
+		}
+	})
+}
+
+func TestClosedSessionRejectsOperations(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		if _, err := sess.StoreObjectData("pre-close.bin", "b", []byte("x"), StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		sess.Close()
+		if err := sess.CreateObject("post-close.bin", "b", nil); err == nil {
+			t.Error("CreateObject on closed session succeeded")
+		}
+		if _, err := sess.FetchObject("pre-close.bin"); err == nil {
+			t.Error("FetchObject on closed session succeeded")
+		}
+	})
+}
+
+func TestNonBlockingOverflowStillPlacesSomewhere(t *testing.T) {
+	tb := newTestbed(t, kv.Options{})
+	tb.run(func() {
+		sess, _ := tb.atom.OpenSession()
+		defer sess.Close()
+		// Fill the local bin, then issue a non-blocking store that must
+		// overflow in the background.
+		if err := sess.CreateObject("nb-fill", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("nb-fill", nil, 2*GB, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		tb.publish()
+		if err := sess.CreateObject("nb-spill", "b", nil); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := sess.StoreObject("nb-spill", nil, 1*GB, StoreOptions{Blocking: false}); err != nil {
+			t.Error(err)
+			return
+		}
+		tb.atom.Flush()
+		meta, _, err := tb.atom.getMeta("nb-spill")
+		if err != nil {
+			t.Errorf("background overflow placement failed: %v", err)
+			return
+		}
+		if meta.Location == "atom:9000" {
+			t.Error("object placed in the full local bin")
+		}
+	})
+}
+
+func TestDiskBackedNode(t *testing.T) {
+	dir := t.TempDir()
+	v := vclock.NewVirtual(epoch)
+	v.Run(func() {
+		home := NewHome(v, HomeOptions{Seed: 12})
+		n, err := home.AddNode(NodeConfig{
+			Addr:           "disk:9000",
+			Machine:        atomSpec("disk"),
+			MandatoryBytes: GB,
+			DataDir:        dir,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sess, _ := n.OpenSession()
+		defer sess.Close()
+		payload := []byte("bytes that must land on disk")
+		if _, err := sess.StoreObjectData("disk-obj.bin", "b", payload, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+		fr, err := sess.FetchObject("disk-obj.bin")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if string(fr.Data) != string(payload) {
+			t.Error("disk round trip corrupted payload")
+		}
+	})
+	// The object really is a file on disk.
+	entries, err := filesUnder(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries == 0 {
+		t.Fatal("no object files created under the data dir")
+	}
+}
+
+func filesUnder(dir string) (int, error) {
+	count := 0
+	err := filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			count++
+		}
+		return nil
+	})
+	return count, err
+}

@@ -1,0 +1,38 @@
+package core
+
+import "sync/atomic"
+
+// OpStats counts a node's VStore++ activity. All fields are cumulative
+// since the node joined; snapshots are safe to read concurrently.
+type OpStats struct {
+	Stores       int64
+	Fetches      int64
+	Processes    int64
+	Deletes      int64
+	BytesStored  int64
+	BytesFetched int64
+}
+
+// opCounters is the node-internal atomic representation.
+type opCounters struct {
+	stores       atomic.Int64
+	fetches      atomic.Int64
+	processes    atomic.Int64
+	deletes      atomic.Int64
+	bytesStored  atomic.Int64
+	bytesFetched atomic.Int64
+}
+
+func (c *opCounters) snapshot() OpStats {
+	return OpStats{
+		Stores:       c.stores.Load(),
+		Fetches:      c.fetches.Load(),
+		Processes:    c.processes.Load(),
+		Deletes:      c.deletes.Load(),
+		BytesStored:  c.bytesStored.Load(),
+		BytesFetched: c.bytesFetched.Load(),
+	}
+}
+
+// OpStats returns the node's cumulative operation counters.
+func (n *Node) OpStats() OpStats { return n.ops.snapshot() }

@@ -1,0 +1,542 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/ids"
+	"cloud4home/internal/kv"
+	"cloud4home/internal/policy"
+	"cloud4home/internal/services"
+	"cloud4home/internal/vclock"
+	"cloud4home/internal/xenchan"
+)
+
+// AblationKVCacheResult compares metadata lookup cost with path caching
+// on vs off (§III-A's "metadata caching and replication functionality").
+type AblationKVCacheResult struct {
+	// ColdLookup is the first-lookup latency (identical in both modes).
+	ColdLookup Stats
+	// WarmCached and WarmUncached are repeat-lookup latencies with the
+	// cache enabled and disabled.
+	WarmCached   Stats
+	WarmUncached Stats
+	// HitRate is the cache hit fraction across the cached run.
+	HitRate float64
+}
+
+// RunAblationKVCache measures repeated metadata lookups from every node.
+func RunAblationKVCache(seed int64) (*AblationKVCacheResult, error) {
+	res := &AblationKVCacheResult{}
+	for _, cached := range []bool{true, false} {
+		opts := kv.Options{CacheEnabled: cached}
+		tb, err := cluster.New(cluster.Options{Seed: seed, KV: &opts})
+		if err != nil {
+			return nil, err
+		}
+		var cold, warm []time.Duration
+		var runErr error
+		tb.Run(func() {
+			store := tb.Home.KV()
+			// Publish 40 keys, then look each up twice from every node.
+			writer := tb.Desktop.ID()
+			keys := make([]ids.ID, 40)
+			for i := range keys {
+				keys[i] = ids.HashString(fmt.Sprintf("ablation/kv-%d", i))
+				if _, err := store.Put(writer, keys[i], []byte("meta"), kv.Overwrite); err != nil {
+					runErr = err
+					return
+				}
+			}
+			for _, n := range tb.AllNodes() {
+				for _, k := range keys {
+					start := tb.V.Now()
+					if _, err := store.Get(n.ID(), k); err != nil {
+						runErr = err
+						return
+					}
+					cold = append(cold, tb.V.Now().Sub(start))
+					start = tb.V.Now()
+					if _, err := store.Get(n.ID(), k); err != nil {
+						runErr = err
+						return
+					}
+					warm = append(warm, tb.V.Now().Sub(start))
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("kv cache ablation (cached=%v): %w", cached, runErr)
+		}
+		if cached {
+			res.ColdLookup = Summarize(cold)
+			res.WarmCached = Summarize(warm)
+			lookups, hits, _ := tb.Home.KV().Stats().Snapshot()
+			if lookups > 0 {
+				res.HitRate = float64(hits) / float64(lookups)
+			}
+		} else {
+			res.WarmUncached = Summarize(warm)
+		}
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *AblationKVCacheResult) Table() Table {
+	return Table{
+		Title:   "Ablation: KV path caching (metadata lookup latency)",
+		Headers: []string{"Lookup", "Mean(ms)", "Stdev(ms)"},
+		Rows: [][]string{
+			{"cold (either mode)", Millis(r.ColdLookup.Mean), Millis(r.ColdLookup.Stdev)},
+			{"warm, cache ON", Millis(r.WarmCached.Mean), Millis(r.WarmCached.Stdev)},
+			{"warm, cache OFF", Millis(r.WarmUncached.Mean), Millis(r.WarmUncached.Stdev)},
+			{"cache hit rate", fmt.Sprintf("%.0f%%", r.HitRate*100), ""},
+		},
+	}
+}
+
+// AblationReplicationRow is one replication factor's survival outcome.
+type AblationReplicationRow struct {
+	Factor    int
+	Stored    int
+	Survived  int
+	WireSends int
+}
+
+// AblationReplicationResult measures metadata survival when two nodes
+// crash, across replication factors.
+type AblationReplicationResult struct {
+	Rows []AblationReplicationRow
+}
+
+// RunAblationReplication crashes two of six nodes after storing metadata
+// and counts surviving keys per replication factor.
+func RunAblationReplication(seed int64) (*AblationReplicationResult, error) {
+	res := &AblationReplicationResult{}
+	const keys = 60
+	for factor := 0; factor <= 3; factor++ {
+		opts := kv.Options{ReplicationFactor: factor}
+		tb, err := cluster.New(cluster.Options{Seed: seed, KV: &opts})
+		if err != nil {
+			return nil, err
+		}
+		row := AblationReplicationRow{Factor: factor, Stored: keys}
+		var runErr error
+		tb.Run(func() {
+			store := tb.Home.KV()
+			writer := tb.Desktop.ID()
+			kk := make([]ids.ID, keys)
+			for i := range kk {
+				kk[i] = ids.HashString(fmt.Sprintf("repl/%d", i))
+				if _, err := store.Put(writer, kk[i], []byte("v"), kv.Overwrite); err != nil {
+					runErr = err
+					return
+				}
+			}
+			// Two netbooks crash (no graceful handover).
+			for _, victim := range tb.Netbooks[:2] {
+				if err := tb.Home.RemoveNode(victim.Addr(), false); err != nil {
+					runErr = err
+					return
+				}
+			}
+			for _, k := range kk {
+				if _, err := store.Get(tb.Desktop.ID(), k); err == nil {
+					row.Survived++
+				} else if !errors.Is(err, kv.ErrNotFound) {
+					runErr = err
+					return
+				}
+			}
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("replication ablation factor %d: %w", factor, runErr)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders survival per factor.
+func (r *AblationReplicationResult) Table() Table {
+	t := Table{
+		Title:   "Ablation: replication factor vs metadata survival (2 of 6 nodes crash)",
+		Headers: []string{"Factor", "Stored", "Survived", "Survival%"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Factor),
+			fmt.Sprintf("%d", row.Stored),
+			fmt.Sprintf("%d", row.Survived),
+			fmt.Sprintf("%.0f%%", 100*float64(row.Survived)/float64(row.Stored)),
+		})
+	}
+	return t
+}
+
+// AblationBlockingResult compares caller-observed store latency for
+// blocking vs non-blocking stores across placements.
+type AblationBlockingResult struct {
+	Size        int64
+	BlockingLoc Stats
+	NonBlocking Stats
+	BlockingRem Stats
+	NonBlockRem Stats
+}
+
+// RunAblationBlocking measures both modes for local and remote targets.
+func RunAblationBlocking(seed int64) (*AblationBlockingResult, error) {
+	tb, err := cluster.New(cluster.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationBlockingResult{Size: 20 * MB}
+	var runErr error
+	tb.Run(func() {
+		sess, err := tb.Netbooks[0].OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer sess.Close()
+		remotePol := policy.SizeThreshold{RemoteBytes: 1}
+		measure := func(prefix string, blocking bool, pol policy.StorePolicy) Stats {
+			var xs []time.Duration
+			for i := 0; i < 4; i++ {
+				name := fmt.Sprintf("%s-%d", prefix, i)
+				if err := sess.CreateObject(name, "b", nil); err != nil {
+					runErr = err
+					return Stats{}
+				}
+				sr, err := sess.StoreObject(name, nil, res.Size, core.StoreOptions{Blocking: blocking, Policy: pol})
+				if err != nil {
+					runErr = err
+					return Stats{}
+				}
+				xs = append(xs, sr.Total)
+				sess.Node().Flush()
+			}
+			return Summarize(xs)
+		}
+		res.BlockingLoc = measure("abl/blk-loc", true, nil)
+		res.NonBlocking = measure("abl/nb-loc", false, nil)
+		res.BlockingRem = measure("abl/blk-rem", true, remotePol)
+		res.NonBlockRem = measure("abl/nb-rem", false, remotePol)
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("blocking ablation: %w", runErr)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *AblationBlockingResult) Table() Table {
+	return Table{
+		Title:   fmt.Sprintf("Ablation: blocking vs non-blocking store (%d MB, caller-observed seconds)", r.Size/MB),
+		Headers: []string{"Mode", "Local(s)", "Remote(s)"},
+		Rows: [][]string{
+			{"blocking", Seconds(r.BlockingLoc.Mean), Seconds(r.BlockingRem.Mean)},
+			{"non-blocking", Seconds(r.NonBlocking.Mean), Seconds(r.NonBlockRem.Mean)},
+		},
+	}
+}
+
+// AblationPageSizeResult compares inter-domain transfer costs for the
+// 4 KB default vs 2 MB huge pages (§IV: "the page size can be increased
+// up to 2 MB").
+type AblationPageSizeResult struct {
+	Sizes []int64
+	Std   []time.Duration
+	Huge  []time.Duration
+}
+
+// RunAblationPageSize measures the channel cost model at both page sizes.
+func RunAblationPageSize(_ int64) (*AblationPageSizeResult, error) {
+	v := vclock.NewVirtual(cluster.Epoch)
+	res := &AblationPageSizeResult{Sizes: []int64{1 * MB, 10 * MB, 100 * MB}}
+	var runErr error
+	v.Run(func() {
+		std, err := xenchan.Open(v, xenchan.DefaultConfig())
+		if err != nil {
+			runErr = err
+			return
+		}
+		huge, err := xenchan.Open(v, xenchan.HugePageConfig())
+		if err != nil {
+			runErr = err
+			return
+		}
+		for _, size := range res.Sizes {
+			d, err := std.TransferSize(size)
+			if err != nil {
+				runErr = err
+				return
+			}
+			res.Std = append(res.Std, d)
+			d, err = huge.TransferSize(size)
+			if err != nil {
+				runErr = err
+				return
+			}
+			res.Huge = append(res.Huge, d)
+		}
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("page size ablation: %w", runErr)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *AblationPageSizeResult) Table() Table {
+	t := Table{
+		Title:   "Ablation: XenSocket page size (inter-domain transfer, ms)",
+		Headers: []string{"Size(MB)", "4KB pages(ms)", "2MB pages(ms)"},
+	}
+	for i, size := range r.Sizes {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", size/MB),
+			Millis(r.Std[i]),
+			Millis(r.Huge[i]),
+		})
+	}
+	return t
+}
+
+// AblationDecisionRow is one policy's outcome on a mixed batch.
+type AblationDecisionRow struct {
+	Policy string
+	// Batch is the wall time to complete the batch of process requests.
+	Batch time.Duration
+	// TargetSpread counts distinct execution targets used.
+	TargetSpread int
+}
+
+// AblationDecisionResult compares the three decision policies (§III-A's
+// 'policy' parameter) on the same batch of processing requests.
+type AblationDecisionResult struct {
+	Rows []AblationDecisionRow
+}
+
+// RunAblationDecision runs a batch of face-detection requests under each
+// decision policy and reports completion time and target spread.
+func RunAblationDecision(seed int64) (*AblationDecisionResult, error) {
+	res := &AblationDecisionResult{}
+	pols := []struct {
+		name string
+		pol  policy.DecisionPolicy
+	}{
+		{"performance", policy.Performance{}},
+		{"balanced", policy.Balanced{}},
+		{"battery-saver", policy.BatterySaver{}},
+	}
+	for _, p := range pols {
+		tb, err := cluster.New(cluster.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		row := AblationDecisionRow{Policy: p.name}
+		var runErr error
+		tb.Run(func() {
+			// All nodes host the service; requester uses policy p.
+			for _, n := range tb.AllNodes() {
+				if err := n.DeployService(services.FaceDetect(), p.name); err != nil {
+					runErr = err
+					return
+				}
+			}
+			tb.PublishResources()
+			requester, err := tb.Home.AddNode(core.NodeConfig{
+				Addr:           "requester:9000",
+				Machine:        cluster.NetbookSpec("requester"),
+				MandatoryBytes: 4 * cluster.GB,
+				DecisionPolicy: p.pol,
+			})
+			if err != nil {
+				runErr = err
+				return
+			}
+			_ = requester.Monitor().PublishOnce()
+			sess, err := requester.OpenSession()
+			if err != nil {
+				runErr = err
+				return
+			}
+			defer sess.Close()
+
+			const batch = 8
+			names := make([]string, batch)
+			for i := range names {
+				names[i] = fmt.Sprintf("abl/dec-%d.jpg", i)
+				if err := sess.CreateObject(names[i], "image", nil); err != nil {
+					runErr = err
+					return
+				}
+				if _, err := sess.StoreObject(names[i], nil, 16*MB, core.StoreOptions{Blocking: true}); err != nil {
+					runErr = err
+					return
+				}
+			}
+
+			// Issue the batch concurrently so load actually accumulates
+			// on the chosen targets; a short monitoring period keeps the
+			// published records fresh mid-batch.
+			var mu sync.Mutex
+			targets := map[string]bool{}
+			start := tb.V.Now()
+			var wg sync.WaitGroup
+			for i := 0; i < batch; i++ {
+				i := i
+				wg.Add(1)
+				tb.V.Go(func() {
+					defer wg.Done()
+					worker, err := requester.OpenSession()
+					if err != nil {
+						mu.Lock()
+						if runErr == nil {
+							runErr = err
+						}
+						mu.Unlock()
+						return
+					}
+					defer worker.Close()
+					// Stagger starts past the input-move latency so each
+					// request sees the loads the previous ones created.
+					tb.V.Sleep(time.Duration(i) * 5 * time.Second)
+					tb.PublishResources()
+					pr, err := worker.Process(names[i], "fdet", services.FaceDetectID)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						if runErr == nil {
+							runErr = err
+						}
+						return
+					}
+					targets[pr.Target] = true
+				})
+			}
+			tb.V.Block(wg.Wait)
+			row.Batch = tb.V.Now().Sub(start)
+			row.TargetSpread = len(targets)
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("decision ablation %s: %w", p.name, runErr)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *AblationDecisionResult) Table() Table {
+	t := Table{
+		Title:   "Ablation: decision policy (8 face-detection requests)",
+		Headers: []string{"Policy", "Batch(s)", "DistinctTargets"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Policy, Seconds(row.Batch), fmt.Sprintf("%d", row.TargetSpread),
+		})
+	}
+	return t
+}
+
+// AblationMetadataRow compares the DHT metadata layer against the
+// centralized alternative the paper names in §III-A.
+type AblationMetadataRow struct {
+	Mode string
+	// Lookup is the mean metadata lookup latency from non-coordinator
+	// nodes.
+	Lookup Stats
+	// SurvivedCrash is the fraction of keys still resolvable after one
+	// node (the coordinator, in centralized mode) crashes.
+	SurvivedCrash float64
+}
+
+// AblationMetadataResult holds both modes' outcomes.
+type AblationMetadataResult struct {
+	Rows []AblationMetadataRow
+}
+
+// RunAblationMetadata measures lookup latency and crash survival for the
+// DHT (replicated) vs centralized metadata layers.
+func RunAblationMetadata(seed int64) (*AblationMetadataResult, error) {
+	res := &AblationMetadataResult{}
+	modes := []struct {
+		name string
+		opts kv.Options
+	}{
+		{"dht (rf=1)", kv.Options{ReplicationFactor: 1}},
+		{"centralized", kv.Options{Centralized: true}},
+	}
+	const keys = 40
+	for _, mode := range modes {
+		opts := mode.opts
+		tb, err := cluster.New(cluster.Options{Seed: seed, KV: &opts})
+		if err != nil {
+			return nil, err
+		}
+		row := AblationMetadataRow{Mode: mode.name}
+		var runErr error
+		tb.Run(func() {
+			store := tb.Home.KV()
+			writer := tb.Desktop.ID()
+			kk := make([]ids.ID, keys)
+			for i := range kk {
+				kk[i] = ids.HashString(fmt.Sprintf("meta-abl/%d", i))
+				if _, err := store.Put(writer, kk[i], []byte("m"), kv.Overwrite); err != nil {
+					runErr = err
+					return
+				}
+			}
+			var ds []time.Duration
+			for _, k := range kk {
+				start := tb.V.Now()
+				if _, err := store.Get(tb.Netbooks[2].ID(), k); err != nil {
+					runErr = err
+					return
+				}
+				ds = append(ds, tb.V.Now().Sub(start))
+			}
+			row.Lookup = Summarize(ds)
+			// Crash the first node — the coordinator in centralized mode.
+			if err := tb.Home.RemoveNode(tb.Netbooks[0].Addr(), false); err != nil {
+				runErr = err
+				return
+			}
+			survived := 0
+			for _, k := range kk {
+				if _, err := store.Get(tb.Desktop.ID(), k); err == nil {
+					survived++
+				}
+			}
+			row.SurvivedCrash = float64(survived) / keys
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("metadata ablation %s: %w", mode.name, runErr)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *AblationMetadataResult) Table() Table {
+	t := Table{
+		Title:   "Ablation: DHT vs centralized metadata layer (§III-A alternative)",
+		Headers: []string{"Mode", "LookupMean(ms)", "Survival after 1 crash"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Mode, Millis(row.Lookup.Mean),
+			fmt.Sprintf("%.0f%%", row.SurvivedCrash*100),
+		})
+	}
+	return t
+}

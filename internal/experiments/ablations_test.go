@@ -1,0 +1,122 @@
+package experiments
+
+import "testing"
+
+func TestAblationKVCache(t *testing.T) {
+	res, err := RunAblationKVCache(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm lookups with caching must beat warm lookups without.
+	if res.WarmCached.Mean >= res.WarmUncached.Mean {
+		t.Errorf("cached warm lookup %v not faster than uncached %v",
+			res.WarmCached.Mean, res.WarmUncached.Mean)
+	}
+	if res.HitRate <= 0.3 {
+		t.Errorf("cache hit rate %.2f implausibly low", res.HitRate)
+	}
+	_ = res.Table().Render()
+}
+
+func TestAblationReplication(t *testing.T) {
+	res, err := RunAblationReplication(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// Survival must be monotone in the factor, lossy at 0, and complete
+	// by factor 2 (two crashes).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Survived < res.Rows[i-1].Survived {
+			t.Errorf("survival not monotone: factor %d %d < factor %d %d",
+				res.Rows[i].Factor, res.Rows[i].Survived,
+				res.Rows[i-1].Factor, res.Rows[i-1].Survived)
+		}
+	}
+	if res.Rows[0].Survived == res.Rows[0].Stored {
+		t.Error("factor 0 lost nothing despite two crashes; suspicious topology")
+	}
+	if res.Rows[2].Survived != res.Rows[2].Stored {
+		t.Errorf("factor 2 lost keys: %d/%d", res.Rows[2].Survived, res.Rows[2].Stored)
+	}
+	_ = res.Table().Render()
+}
+
+func TestAblationBlocking(t *testing.T) {
+	res, err := RunAblationBlocking(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NonBlocking.Mean >= res.BlockingLoc.Mean {
+		t.Errorf("local: non-blocking %v not below blocking %v",
+			res.NonBlocking.Mean, res.BlockingLoc.Mean)
+	}
+	// The gap is dramatic for remote placements: the caller does not wait
+	// for the WAN upload.
+	if res.NonBlockRem.Mean*10 >= res.BlockingRem.Mean {
+		t.Errorf("remote: non-blocking %v not ≪ blocking %v",
+			res.NonBlockRem.Mean, res.BlockingRem.Mean)
+	}
+	_ = res.Table().Render()
+}
+
+func TestAblationPageSize(t *testing.T) {
+	res, err := RunAblationPageSize(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Sizes {
+		if res.Huge[i] >= res.Std[i] {
+			t.Errorf("size %d MB: huge pages %v not faster than 4 KB %v",
+				res.Sizes[i]/MB, res.Huge[i], res.Std[i])
+		}
+	}
+	_ = res.Table().Render()
+}
+
+func TestAblationDecision(t *testing.T) {
+	res, err := RunAblationDecision(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	byName := map[string]AblationDecisionRow{}
+	for _, row := range res.Rows {
+		byName[row.Policy] = row
+		if row.Batch <= 0 || row.TargetSpread < 1 {
+			t.Errorf("degenerate row: %+v", row)
+		}
+	}
+	// Balanced spreads across more targets than pure performance.
+	if byName["balanced"].TargetSpread < byName["performance"].TargetSpread {
+		t.Errorf("balanced spread %d < performance spread %d",
+			byName["balanced"].TargetSpread, byName["performance"].TargetSpread)
+	}
+	_ = res.Table().Render()
+}
+
+func TestAblationMetadata(t *testing.T) {
+	res, err := RunAblationMetadata(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	dht, central := res.Rows[0], res.Rows[1]
+	// The replicated DHT survives the crash; the centralized layer loses
+	// keys when the first netbook was the coordinator.
+	if dht.SurvivedCrash != 1 {
+		t.Errorf("DHT survival = %.2f, want 1.0", dht.SurvivedCrash)
+	}
+	if central.SurvivedCrash != 0 {
+		t.Errorf("centralized survival = %.2f, want 0 (coordinator crashed)", central.SurvivedCrash)
+	}
+	if dht.Lookup.Mean <= 0 || central.Lookup.Mean <= 0 {
+		t.Error("degenerate lookup stats")
+	}
+}

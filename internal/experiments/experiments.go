@@ -1,0 +1,119 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§V). Each experiment builds a fresh, deterministic paper
+// testbed (internal/cluster), replays its workload in virtual time, and
+// returns structured rows plus a rendered text table matching the paper's
+// presentation. The bench harness (bench_test.go) and the c4h-bench
+// binary both drive these runners.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// MB is one megabyte.
+const MB = int64(1) << 20
+
+// Stats summarises a sample of durations.
+type Stats struct {
+	Mean   time.Duration
+	Stdev  time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	Sample int
+}
+
+// Summarize computes a duration sample's statistics.
+func Summarize(xs []time.Duration) Stats {
+	if len(xs) == 0 {
+		return Stats{}
+	}
+	var sum float64
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		sum += float64(x)
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	mean := sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		sq += d * d
+	}
+	return Stats{
+		Mean:   time.Duration(mean),
+		Stdev:  time.Duration(math.Sqrt(sq / float64(len(xs)))),
+		Min:    min,
+		Max:    max,
+		Sample: len(xs),
+	}
+}
+
+// Seconds renders a duration with two decimals.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f", d.Seconds())
+}
+
+// Millis renders a duration in whole milliseconds.
+func Millis(d time.Duration) string {
+	return fmt.Sprintf("%d", d.Milliseconds())
+}
+
+// Throughput returns bytes/elapsed in MB/s.
+func Throughput(bytes int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(bytes) / elapsed.Seconds() / float64(MB)
+}
+
+// Table renders rows as an aligned text table with a title.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render produces the aligned text form.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

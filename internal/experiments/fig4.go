@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/policy"
+)
+
+// Fig4Config parameterises the home-vs-remote latency experiment.
+type Fig4Config struct {
+	Seed  int64
+	Sizes []int64 // object sizes in bytes (paper: 1..100 MB)
+	Reps  int     // repetitions per size per operation
+}
+
+// DefaultFig4 matches the paper's sweep.
+func DefaultFig4(seed int64) Fig4Config {
+	return Fig4Config{
+		Seed:  seed,
+		Sizes: []int64{1 * MB, 2 * MB, 5 * MB, 10 * MB, 20 * MB, 50 * MB, 100 * MB},
+		Reps:  5,
+	}
+}
+
+// Fig4Row is one size's measurements.
+type Fig4Row struct {
+	Size        int64
+	HomeFetch   Stats
+	HomeStore   Stats
+	RemoteFetch Stats
+	RemoteStore Stats
+}
+
+// Fig4Result reproduces Figure 4: "the latency and the latency variation
+// for fetch and store accesses to data stored in nodes in a home vs. a
+// public remote cloud".
+type Fig4Result struct {
+	Rows []Fig4Row
+}
+
+// RunFig4 executes the experiment. "For the home cloud measurements, the
+// dataset is distributed across all nodes in our home prototype, so data
+// accesses are made to both on-node and off-node storage."
+func RunFig4(cfg Fig4Config) (*Fig4Result, error) {
+	tb, err := cluster.New(cluster.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{}
+	var runErr error
+	tb.Run(func() {
+		nodes := tb.AllNodes()
+		sess := make([]*core.Session, len(nodes))
+		for i, n := range nodes {
+			sess[i], runErr = n.OpenSession()
+			if runErr != nil {
+				return
+			}
+		}
+		defer func() {
+			for _, s := range sess {
+				if s != nil {
+					s.Close()
+				}
+			}
+		}()
+
+		seq := 0
+		for _, size := range cfg.Sizes {
+			row := Fig4Row{Size: size}
+			var homeFetch, homeStore, remoteFetch, remoteStore []time.Duration
+			for rep := 0; rep < cfg.Reps; rep++ {
+				// Home: store from one node, fetch from another, so both
+				// on-node and off-node paths are exercised.
+				producer := sess[seq%len(sess)]
+				consumer := sess[(seq+1+rep)%len(sess)]
+				seq++
+
+				name := fmt.Sprintf("fig4/home-%d-%d", size, rep)
+				if runErr = producer.CreateObject(name, "blob", nil); runErr != nil {
+					return
+				}
+				sr, err := producer.StoreObject(name, nil, size, core.StoreOptions{Blocking: true})
+				if err != nil {
+					runErr = err
+					return
+				}
+				homeStore = append(homeStore, sr.Total)
+				fr, err := consumer.FetchObject(name)
+				if err != nil {
+					runErr = err
+					return
+				}
+				homeFetch = append(homeFetch, fr.Breakdown.Total)
+
+				// Remote: force placement into the public cloud.
+				rname := fmt.Sprintf("fig4/remote-%d-%d", size, rep)
+				if runErr = producer.CreateObject(rname, "blob", nil); runErr != nil {
+					return
+				}
+				sr, err = producer.StoreObject(rname, nil, size,
+					core.StoreOptions{Blocking: true, Policy: policy.SizeThreshold{RemoteBytes: 1}})
+				if err != nil {
+					runErr = err
+					return
+				}
+				remoteStore = append(remoteStore, sr.Total)
+				fr, err = consumer.FetchObject(rname)
+				if err != nil {
+					runErr = err
+					return
+				}
+				remoteFetch = append(remoteFetch, fr.Breakdown.Total)
+			}
+			row.HomeFetch = Summarize(homeFetch)
+			row.HomeStore = Summarize(homeStore)
+			row.RemoteFetch = Summarize(remoteFetch)
+			row.RemoteStore = Summarize(remoteStore)
+			res.Rows = append(res.Rows, row)
+		}
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("fig4: %w", runErr)
+	}
+	return res, nil
+}
+
+// Table renders the result in the figure's layout.
+func (r *Fig4Result) Table() Table {
+	t := Table{
+		Title: "Figure 4: Home vs remote cloud latency (mean ± stdev, seconds)",
+		Headers: []string{"Size(MB)", "HomeFetch", "±", "HomeStore", "±",
+			"RemoteFetch", "±", "RemoteStore", "±"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Size/MB),
+			Seconds(row.HomeFetch.Mean), Seconds(row.HomeFetch.Stdev),
+			Seconds(row.HomeStore.Mean), Seconds(row.HomeStore.Stdev),
+			Seconds(row.RemoteFetch.Mean), Seconds(row.RemoteFetch.Stdev),
+			Seconds(row.RemoteStore.Mean), Seconds(row.RemoteStore.Stdev),
+		})
+	}
+	return t
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cloud4home/internal/cloudsim"
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/services"
+	"cloud4home/internal/vclock"
+)
+
+// Fig7Config parameterises the service-placement experiment.
+type Fig7Config struct {
+	Seed int64
+	// Sizes are the image sizes (paper: 0.25, 0.5, 1, 2 MB).
+	Sizes []int64
+}
+
+// DefaultFig7 matches the paper's sweep.
+func DefaultFig7(seed int64) Fig7Config {
+	return Fig7Config{
+		Seed:  seed,
+		Sizes: []int64{MB / 4, MB / 2, 1 * MB, 2 * MB},
+	}
+}
+
+// Fig7Row is one image size's pipeline time at each host.
+type Fig7Row struct {
+	Size int64
+	// S1, S2, S3 are the FDet+FRec pipeline completion times when forced
+	// onto each host, measured from S1 (the image's owner).
+	S1, S2, S3 time.Duration
+	// Best is the host with the lowest time.
+	Best string
+}
+
+// Fig7Result reproduces Figure 7: "Importance of service placement" —
+// the home-surveillance pipeline (CPU-intensive FDet, memory-intensive
+// FRec) on S1 (512 MB / 1 vCPU Atom), S2 (128 MB multi-vCPU quad-core),
+// and S3 (EC2 extra-large), across image sizes.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// RunFig7 builds the three-host deployment and measures every placement
+// of the pipeline for every size. The FRec training data is assumed
+// available at all processing locations, as in the paper.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	res := &Fig7Result{}
+	v := vclock.NewVirtual(cluster.Epoch)
+	var runErr error
+	v.Run(func() {
+		home := core.NewHome(v, core.HomeOptions{Seed: cfg.Seed})
+		cloud := cloudsim.New(v, home.Net())
+		home.AttachCloud(cloud)
+
+		s1, err := home.AddNode(core.NodeConfig{
+			Addr: "s1:9000", Machine: cluster.S1Spec(),
+			MandatoryBytes: cluster.GB, VoluntaryBytes: cluster.GB,
+			CloudGateway: true,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		s2, err := home.AddNode(core.NodeConfig{
+			Addr: "s2:9000", Machine: cluster.S2Spec(),
+			MandatoryBytes: cluster.GB, VoluntaryBytes: cluster.GB,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		if _, err := cloud.LaunchInstance("s3", cluster.S3Spec()); err != nil {
+			runErr = err
+			return
+		}
+
+		fdet, frec := services.FaceDetect(), services.FaceRecognize()
+		for _, spec := range []services.Spec{fdet, frec} {
+			if err := s1.DeployService(spec, "performance"); err != nil {
+				runErr = err
+				return
+			}
+			if err := s2.DeployService(spec, "performance"); err != nil {
+				runErr = err
+				return
+			}
+			if err := home.DeployCloudService(spec, "s3"); err != nil {
+				runErr = err
+				return
+			}
+		}
+		for _, n := range home.Nodes() {
+			_ = n.Monitor().PublishOnce()
+		}
+
+		sess, err := s1.OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer sess.Close()
+
+		names := []string{"fdet", "frec"}
+		ids := []uint32{services.FaceDetectID, services.FaceRecognizeID}
+		for _, size := range cfg.Sizes {
+			// The captured image lives on S1 (the camera's node).
+			obj := fmt.Sprintf("fig7/img-%dKB.jpg", size>>10)
+			if err := sess.CreateObject(obj, "image", nil); err != nil {
+				runErr = err
+				return
+			}
+			if _, err := sess.StoreObject(obj, nil, size, core.StoreOptions{Blocking: true}); err != nil {
+				runErr = err
+				return
+			}
+			row := Fig7Row{Size: size}
+			for _, host := range []struct {
+				label  string
+				target string
+				dst    *time.Duration
+			}{
+				{"S1", "s1:9000", &row.S1},
+				{"S2", "s2:9000", &row.S2},
+				{"S3", "cloud:s3", &row.S3},
+			} {
+				pr, err := sess.ProcessPipelineAt(obj, names, ids, host.target)
+				if err != nil {
+					runErr = fmt.Errorf("pipeline at %s: %w", host.label, err)
+					return
+				}
+				*host.dst = pr.Breakdown.Total
+			}
+			switch {
+			case row.S1 <= row.S2 && row.S1 <= row.S3:
+				row.Best = "S1"
+			case row.S2 <= row.S3:
+				row.Best = "S2"
+			default:
+				row.Best = "S3"
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("fig7: %w", runErr)
+	}
+	return res, nil
+}
+
+// Table renders the placement matrix.
+func (r *Fig7Result) Table() Table {
+	t := Table{
+		Title:   "Figure 7: Importance of service placement (FDet+FRec pipeline from S1, seconds)",
+		Headers: []string{"Image(MB)", "S1(s)", "S2(s)", "S3/EC2(s)", "Best"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", float64(row.Size)/float64(MB)),
+			Seconds(row.S1), Seconds(row.S2), Seconds(row.S3), row.Best,
+		})
+	}
+	return t
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/services"
+	"cloud4home/internal/vclock"
+)
+
+// Fig8Config parameterises the dynamic-request-routing experiment.
+type Fig8Config struct {
+	Seed int64
+	// Sizes are the video sizes converted.
+	Sizes []int64
+}
+
+// DefaultFig8 sweeps representative video sizes.
+func DefaultFig8(seed int64) Fig8Config {
+	return Fig8Config{
+		Seed:  seed,
+		Sizes: []int64{5 * MB, 10 * MB, 20 * MB, 40 * MB},
+	}
+}
+
+// Fig8Row is one video size's Town vs Topt comparison.
+type Fig8Row struct {
+	Size int64
+	// Town is the conversion time when the service runs at the video's
+	// low-end owner node.
+	Town time.Duration
+	// Topt is the time when "VStore++'s mechanisms for dynamic resource
+	// discovery ... determine that a third, desktop node, is most
+	// suitable", including data movement and the decision algorithm.
+	Topt time.Duration
+	// Chosen is the node the decision picked.
+	Chosen string
+}
+
+// Fig8Result reproduces Figure 8: "Feasibility of dynamic request
+// routing" — .avi→.mp4 conversion (x264) at the owner vs the
+// dynamically-selected desktop.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// RunFig8 builds the scenario: a mobile device requests a video owned by
+// a low-end Atom node; conversion can run at the owner (Town) or wherever
+// the decision process selects (Topt).
+func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	v := vclock.NewVirtual(cluster.Epoch)
+	var runErr error
+	v.Run(func() {
+		home := core.NewHome(v, core.HomeOptions{Seed: cfg.Seed})
+		owner, err := home.AddNode(core.NodeConfig{
+			Addr: "owner:9000", Machine: cluster.NetbookSpec("owner"),
+			MandatoryBytes: 8 * cluster.GB,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		desktop, err := home.AddNode(core.NodeConfig{
+			Addr: "desktop:9000", Machine: cluster.DesktopSpec(),
+			MandatoryBytes: 8 * cluster.GB, VoluntaryBytes: 8 * cluster.GB,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		mobile, err := home.AddNode(core.NodeConfig{
+			Addr:    "mobile:9000",
+			Machine: cluster.NetbookSpec("mobile"),
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		x264 := services.X264Convert()
+		if err := owner.DeployService(x264, "performance"); err != nil {
+			runErr = err
+			return
+		}
+		if err := desktop.DeployService(x264, "performance"); err != nil {
+			runErr = err
+			return
+		}
+		for _, n := range home.Nodes() {
+			_ = n.Monitor().PublishOnce()
+		}
+
+		ownerSess, err := owner.OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer ownerSess.Close()
+		mobileSess, err := mobile.OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer mobileSess.Close()
+
+		for _, size := range cfg.Sizes {
+			name := fmt.Sprintf("fig8/video-%dMB.avi", size/MB)
+			if err := ownerSess.CreateObject(name, "video/avi", nil); err != nil {
+				runErr = err
+				return
+			}
+			if _, err := ownerSess.StoreObject(name, nil, size, core.StoreOptions{Blocking: true}); err != nil {
+				runErr = err
+				return
+			}
+			row := Fig8Row{Size: size}
+
+			// Town: conversion pinned to the owner node.
+			pr, err := mobileSess.ProcessAt(name, "x264", services.X264ConvertID, "owner:9000")
+			if err != nil {
+				runErr = err
+				return
+			}
+			row.Town = pr.Breakdown.Total
+
+			// Topt: the decision process picks the execution site.
+			pr, err = mobileSess.Process(name, "x264", services.X264ConvertID)
+			if err != nil {
+				runErr = err
+				return
+			}
+			row.Topt = pr.Breakdown.Total
+			row.Chosen = pr.Target
+			res.Rows = append(res.Rows, row)
+		}
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("fig8: %w", runErr)
+	}
+	return res, nil
+}
+
+// Table renders the comparison.
+func (r *Fig8Result) Table() Table {
+	t := Table{
+		Title:   "Figure 8: Feasibility of dynamic request routing (x264 .avi→.mp4)",
+		Headers: []string{"Video(MB)", "Town(s)", "Topt(s)", "Speedup", "Chosen"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Size/MB),
+			Seconds(row.Town), Seconds(row.Topt),
+			fmt.Sprintf("%.1fx", row.Town.Seconds()/row.Topt.Seconds()),
+			row.Chosen,
+		})
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/kv"
+)
+
+// ScaleConfig parameterises the scalability study of the paper's future
+// work (§VII iii): "to understand how to scale to larger numbers of
+// @home ... participants".
+type ScaleConfig struct {
+	Seed int64
+	// Sizes are the home-cloud sizes swept (device counts).
+	Sizes []int
+	// Objects stored/fetched per point.
+	Objects int
+	// ObjectSize per object.
+	ObjectSize int64
+}
+
+// DefaultScale sweeps 4 to 32 devices.
+func DefaultScale(seed int64) ScaleConfig {
+	return ScaleConfig{
+		Seed:       seed,
+		Sizes:      []int{4, 8, 16, 32},
+		Objects:    30,
+		ObjectSize: 4 * MB,
+	}
+}
+
+// ScaleRow is one home-size measurement.
+type ScaleRow struct {
+	Nodes int
+	// Lookup is the mean DHT metadata lookup latency.
+	Lookup Stats
+	// Fetch is the mean full off-node fetch latency.
+	Fetch Stats
+	// JoinCost is the time for one additional node to join the overlay at
+	// this size.
+	JoinCost time.Duration
+}
+
+// ScaleResult shows how metadata and data-path costs grow with home size.
+type ScaleResult struct {
+	Rows []ScaleRow
+}
+
+// RunScale executes the sweep. Keys spread over more owners as the home
+// grows, so lookups take more hops but must stay within the O(log n)
+// behaviour of prefix routing.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	res := &ScaleResult{}
+	for _, n := range cfg.Sizes {
+		opts := kv.Options{CacheEnabled: false} // no caching: measure routing
+		tb, err := cluster.New(cluster.Options{Seed: cfg.Seed, Netbooks: n - 1, KV: &opts})
+		if err != nil {
+			return nil, err
+		}
+		row := ScaleRow{Nodes: n}
+		var runErr error
+		tb.Run(func() {
+			writer, err := tb.Netbooks[0].OpenSession()
+			if err != nil {
+				runErr = err
+				return
+			}
+			defer writer.Close()
+			reader, err := tb.Desktop.OpenSession()
+			if err != nil {
+				runErr = err
+				return
+			}
+			defer reader.Close()
+
+			var lookups, fetches []time.Duration
+			for i := 0; i < cfg.Objects; i++ {
+				name := fmt.Sprintf("scale/%d/%d.bin", n, i)
+				if err := writer.CreateObject(name, "b", nil); err != nil {
+					runErr = err
+					return
+				}
+				if _, err := writer.StoreObject(name, nil, cfg.ObjectSize, core.StoreOptions{Blocking: true}); err != nil {
+					runErr = err
+					return
+				}
+				fr, err := reader.FetchObject(name)
+				if err != nil {
+					runErr = err
+					return
+				}
+				lookups = append(lookups, fr.Breakdown.DHTLookup)
+				fetches = append(fetches, fr.Breakdown.Total)
+			}
+			row.Lookup = Summarize(lookups)
+			row.Fetch = Summarize(fetches)
+
+			// Join cost at this scale: one more device enters the overlay.
+			start := tb.V.Now()
+			if _, err := tb.Home.AddNode(core.NodeConfig{
+				Addr:           "late-joiner:9000",
+				Machine:        cluster.NetbookSpec("late-joiner"),
+				MandatoryBytes: cluster.GB,
+			}); err != nil {
+				runErr = err
+				return
+			}
+			row.JoinCost = tb.V.Now().Sub(start)
+		})
+		if runErr != nil {
+			return nil, fmt.Errorf("scale n=%d: %w", n, runErr)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the sweep.
+func (r *ScaleResult) Table() Table {
+	t := Table{
+		Title:   "Scalability (§VII iii): costs vs home-cloud size",
+		Headers: []string{"Nodes", "DHTLookup(ms)", "OffNodeFetch(s)", "JoinCost(ms)"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", row.Nodes),
+			Millis(row.Lookup.Mean),
+			Seconds(row.Fetch.Mean),
+			Millis(row.JoinCost),
+		})
+	}
+	return t
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cloud4home/internal/cloudsim"
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/services"
+)
+
+// SplitConfig parameterises the §V-B joint home/remote processing
+// experiment: "an application where a sequence of images is to be
+// compared against an existing image dataset, for instance using a face
+// recognition algorithm".
+type SplitConfig struct {
+	Seed int64
+	// Images is the sequence length.
+	Images int
+	// ImageSize is each image's size.
+	ImageSize int64
+	// RemoteWorkers is the upload/processing pipeline depth for the
+	// remote scenario.
+	RemoteWorkers int
+}
+
+// DefaultSplit matches the paper's scenario scale (a 60 MB home dataset:
+// 30 × 2 MB images).
+func DefaultSplit(seed int64) SplitConfig {
+	return SplitConfig{Seed: seed, Images: 30, ImageSize: 2 * MB, RemoteWorkers: 3}
+}
+
+// SplitResult reproduces the three scenarios: "(i) the image sequence is
+// processed at home ... (ii) the processing is performed on EC2 instances
+// ... (iii) the sequence processing is split between the home and remote
+// cloud. The resulting processing times ... are 162 sec, 127 sec, and 98
+// sec, respectively."
+type SplitResult struct {
+	Home   time.Duration
+	Remote time.Duration
+	Split  time.Duration
+	// HomeShare is the fraction of images processed at home in the split
+	// scenario.
+	HomeShare float64
+}
+
+// RunSplit executes all three scenarios.
+func RunSplit(cfg SplitConfig) (*SplitResult, error) {
+	res := &SplitResult{}
+
+	home, err := runSplitScenario(cfg, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	res.Home = home.elapsed
+
+	remote, err := runSplitScenario(cfg, 0.0)
+	if err != nil {
+		return nil, err
+	}
+	res.Remote = remote.elapsed
+
+	// Split "roughly proportional to the amount of home vs. remote
+	// resources": proportional to the measured processing rates.
+	hRate := float64(cfg.Images) / res.Home.Seconds()
+	rRate := float64(cfg.Images) / res.Remote.Seconds()
+	res.HomeShare = hRate / (hRate + rRate)
+	split, err := runSplitScenario(cfg, res.HomeShare)
+	if err != nil {
+		return nil, err
+	}
+	res.Split = split.elapsed
+	return res, nil
+}
+
+type splitRun struct {
+	elapsed time.Duration
+}
+
+// runSplitScenario processes the image sequence with homeShare of the
+// images handled sequentially on a home netbook and the rest pipelined
+// through the EC2 instance, both concurrently.
+func runSplitScenario(cfg SplitConfig, homeShare float64) (*splitRun, error) {
+	tb, err := cluster.New(cluster.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	out := &splitRun{}
+	var runErr error
+	tb.Run(func() {
+		// Deploy recognition at home (requesting netbook) and the cloud.
+		if runErr = tb.Netbooks[0].DeployService(services.FaceRecognize(), "performance"); runErr != nil {
+			return
+		}
+		if _, err := tb.Cloud.LaunchInstance("xl", cloudsim.ExtraLargeSpec("S3")); err != nil {
+			runErr = err
+			return
+		}
+		if runErr = tb.Home.DeployCloudService(services.FaceRecognize(), "xl"); runErr != nil {
+			return
+		}
+		tb.PublishResources()
+
+		sess, err := tb.Netbooks[0].OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer sess.Close()
+
+		// The image sequence lives in the home cloud, distributed across
+		// devices (it was captured there).
+		names := make([]string, cfg.Images)
+		owners := tb.AllNodes()
+		for i := range names {
+			names[i] = fmt.Sprintf("split/img-%03d.jpg", i)
+			ownSess, err := owners[i%len(owners)].OpenSession()
+			if err != nil {
+				runErr = err
+				return
+			}
+			if err := ownSess.CreateObject(names[i], "image", nil); err != nil {
+				runErr = err
+				ownSess.Close()
+				return
+			}
+			if _, err := ownSess.StoreObject(names[i], nil, cfg.ImageSize, core.StoreOptions{Blocking: true}); err != nil {
+				runErr = err
+				ownSess.Close()
+				return
+			}
+			ownSess.Close()
+		}
+
+		homeCount := int(float64(cfg.Images)*homeShare + 0.5)
+		start := tb.V.Now()
+		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		fail := func(err error) {
+			errMu.Lock()
+			if runErr == nil {
+				runErr = err
+			}
+			errMu.Unlock()
+		}
+
+		// Home half: sequential on the requesting netbook.
+		wg.Add(1)
+		tb.V.Go(func() {
+			defer wg.Done()
+			for i := 0; i < homeCount; i++ {
+				if _, err := sess.FetchProcess(names[i], "frec", services.FaceRecognizeID); err != nil {
+					fail(err)
+					return
+				}
+			}
+		})
+
+		// Remote half: pipelined through the EC2 instance.
+		var mu sync.Mutex
+		next := homeCount
+		for w := 0; w < cfg.RemoteWorkers; w++ {
+			wg.Add(1)
+			tb.V.Go(func() {
+				defer wg.Done()
+				worker, err := tb.Netbooks[0].OpenSession()
+				if err != nil {
+					fail(err)
+					return
+				}
+				defer worker.Close()
+				for {
+					mu.Lock()
+					if next >= cfg.Images {
+						mu.Unlock()
+						return
+					}
+					i := next
+					next++
+					mu.Unlock()
+					if _, err := worker.ProcessAt(names[i], "frec", services.FaceRecognizeID, "cloud:xl"); err != nil {
+						fail(err)
+						return
+					}
+				}
+			})
+		}
+		tb.V.Block(wg.Wait)
+		out.elapsed = tb.V.Now().Sub(start)
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("split scenario (home share %.2f): %w", homeShare, runErr)
+	}
+	return out, nil
+}
+
+// Table renders the three scenario times.
+func (r *SplitResult) Table() Table {
+	return Table{
+		Title:   "§V-B: Joint usage of home and remote resources (image sequence processing)",
+		Headers: []string{"Scenario", "Time(s)", "Paper(s)"},
+		Rows: [][]string{
+			{"home only", Seconds(r.Home), "162"},
+			{"remote only (EC2)", Seconds(r.Remote), "127"},
+			{fmt.Sprintf("split (%.0f%% home)", r.HomeShare*100), Seconds(r.Split), "98"},
+		},
+	}
+}

@@ -1,0 +1,30 @@
+package ids
+
+import "testing"
+
+func BenchmarkHashString(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HashString("surveillance/cam0/frame-000017.jpg")
+	}
+}
+
+func BenchmarkCommonPrefixLen(b *testing.B) {
+	x, y := HashString("a"), HashString("b")
+	for i := 0; i < b.N; i++ {
+		_ = CommonPrefixLen(x, y)
+	}
+}
+
+func BenchmarkRingDistance(b *testing.B) {
+	x, y := HashString("a"), HashString("b")
+	for i := 0; i < b.N; i++ {
+		_ = RingDistance(x, y)
+	}
+}
+
+func BenchmarkCloser(b *testing.B) {
+	t, x, y := HashString("t"), HashString("a"), HashString("b")
+	for i := 0; i < b.N; i++ {
+		_ = Closer(t, x, y)
+	}
+}

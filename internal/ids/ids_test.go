@@ -1,0 +1,188 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashStringWidth(t *testing.T) {
+	names := []string{"", "a", "object-1", "surveillance/cam0/frame-000017.jpg", "node:10.0.0.7:9000"}
+	for _, name := range names {
+		id := HashString(name)
+		if uint64(id) > uint64(Max()) {
+			t.Errorf("HashString(%q) = %x exceeds 40 bits", name, uint64(id))
+		}
+	}
+}
+
+func TestHashStringDeterministic(t *testing.T) {
+	if HashString("foo") != HashString("foo") {
+		t.Fatal("HashString is not deterministic")
+	}
+	if HashString("foo") == HashString("bar") {
+		t.Fatal("distinct names should (overwhelmingly) hash differently")
+	}
+}
+
+func TestHashBytesMatchesString(t *testing.T) {
+	if HashBytes([]byte("video.avi")) != HashString("video.avi") {
+		t.Fatal("HashBytes and HashString disagree on identical input")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	cases := []ID{0, 1, 0xdeadbeef, Max(), HashString("x")}
+	for _, id := range cases {
+		s := id.String()
+		if len(s) != Digits {
+			t.Errorf("String(%v) = %q: want %d chars", uint64(id), s, Digits)
+		}
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", s, err)
+			continue
+		}
+		if got != id {
+			t.Errorf("round trip %v -> %q -> %v", uint64(id), s, uint64(got))
+		}
+	}
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	for _, s := range []string{"", "abc", "zzzzzzzzzz", "0123456789ab", "12345678-0"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestDigit(t *testing.T) {
+	id := ID(0x123456789a)
+	want := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for i, w := range want {
+		if got := id.Digit(i); got != w {
+			t.Errorf("Digit(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if id.Digit(-1) != -1 || id.Digit(Digits) != -1 {
+		t.Error("out-of-range Digit should return -1")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	tests := []struct {
+		a, b ID
+		want int
+	}{
+		{0, 0, Digits},
+		{0x123456789a, 0x123456789a, Digits},
+		{0x1000000000, 0x2000000000, 0},
+		{0x1230000000, 0x1240000000, 2},
+		{0x123456789a, 0x123456789b, Digits - 1},
+	}
+	for _, tt := range tests {
+		if got := CommonPrefixLen(tt.a, tt.b); got != tt.want {
+			t.Errorf("CommonPrefixLen(%x, %x) = %d, want %d", uint64(tt.a), uint64(tt.b), got, tt.want)
+		}
+	}
+}
+
+func TestRingDistanceSymmetric(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := ID(a&uint64(Max())), ID(b&uint64(Max()))
+		return RingDistance(x, y) == RingDistance(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingDistanceBounded(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := ID(a&uint64(Max())), ID(b&uint64(Max()))
+		return RingDistance(x, y) <= (uint64(Max())+1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceWraps(t *testing.T) {
+	if d := Distance(Max(), 0); d != 1 {
+		t.Errorf("Distance(Max, 0) = %d, want 1", d)
+	}
+	if d := Distance(0, Max()); d != uint64(Max()) {
+		t.Errorf("Distance(0, Max) = %d, want %d", d, uint64(Max()))
+	}
+}
+
+func TestCloserTieBreak(t *testing.T) {
+	// 10 and 20 are equidistant from 15; the smaller ID must win so all
+	// nodes agree on ownership.
+	if !Closer(15, 10, 20) {
+		t.Error("Closer should prefer the numerically smaller ID on ties")
+	}
+	if Closer(15, 20, 10) {
+		t.Error("Closer must be antisymmetric on ties")
+	}
+}
+
+func TestCloserStrict(t *testing.T) {
+	if Closer(100, 90, 90) {
+		t.Error("a candidate equal to current is not strictly closer")
+	}
+	if !Closer(100, 99, 90) {
+		t.Error("99 is closer to 100 than 90")
+	}
+}
+
+func TestBetween(t *testing.T) {
+	tests := []struct {
+		a, b, x ID
+		want    bool
+	}{
+		{10, 20, 15, true},
+		{10, 20, 20, true},  // half-open (a, b]: b included
+		{10, 20, 10, false}, // a excluded
+		{10, 20, 25, false},
+		{Max() - 5, 5, 0, true}, // wraps around zero
+		{Max() - 5, 5, Max(), true},
+		{Max() - 5, 5, 10, false},
+		{7, 7, 3, true}, // degenerate: whole ring
+	}
+	for _, tt := range tests {
+		if got := Between(tt.a, tt.b, tt.x); got != tt.want {
+			t.Errorf("Between(%d,%d,%d) = %v, want %v",
+				uint64(tt.a), uint64(tt.b), uint64(tt.x), got, tt.want)
+		}
+	}
+}
+
+func TestAddWraps(t *testing.T) {
+	if Add(Max(), 1) != 0 {
+		t.Error("Add must wrap at 2^40")
+	}
+	if Add(5, 10) != 15 {
+		t.Error("Add(5, 10) != 15")
+	}
+}
+
+func TestPrefixDigitConsistency(t *testing.T) {
+	// Property: CommonPrefixLen(a,b) == first index where digits differ.
+	f := func(a, b uint64) bool {
+		x, y := ID(a&uint64(Max())), ID(b&uint64(Max()))
+		n := CommonPrefixLen(x, y)
+		for i := 0; i < n; i++ {
+			if x.Digit(i) != y.Digit(i) {
+				return false
+			}
+		}
+		if n < Digits && x.Digit(n) == y.Digit(n) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

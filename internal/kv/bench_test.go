@@ -1,0 +1,81 @@
+package kv
+
+import (
+	"fmt"
+	"testing"
+
+	"cloud4home/internal/ids"
+	"cloud4home/internal/overlay"
+)
+
+func benchStore(b *testing.B, opts Options) (*Store, []ids.ID) {
+	b.Helper()
+	wire := overlay.FreeWire{}
+	mesh := overlay.NewMesh(wire)
+	st := New(mesh, wire, opts)
+	var nodeIDs []ids.ID
+	for i := 0; i < 8; i++ {
+		r, err := mesh.Join(fmt.Sprintf("kvbench-%d:1", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Attach(r.Self().ID)
+		nodeIDs = append(nodeIDs, r.Self().ID)
+	}
+	return st, nodeIDs
+}
+
+func BenchmarkPut(b *testing.B) {
+	st, nodes := benchStore(b, Options{})
+	val := []byte(`{"location":"netbook-3:9000","size":1048576}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Put(nodes[i%len(nodes)], ids.ID(i)&ids.Max(), val, Overwrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutReplicated(b *testing.B) {
+	st, nodes := benchStore(b, Options{ReplicationFactor: 2})
+	val := []byte(`{"location":"netbook-3:9000","size":1048576}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Put(nodes[i%len(nodes)], ids.ID(i)&ids.Max(), val, Overwrite); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetUncached(b *testing.B) {
+	st, nodes := benchStore(b, Options{})
+	key := ids.HashString("bench-key")
+	if _, err := st.Put(nodes[0], key, []byte("v"), Overwrite); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(nodes[i%len(nodes)], key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetCached(b *testing.B) {
+	st, nodes := benchStore(b, Options{CacheEnabled: true})
+	key := ids.HashString("bench-key")
+	if _, err := st.Put(nodes[0], key, []byte("v"), Overwrite); err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range nodes {
+		if _, err := st.Get(n, key); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Get(nodes[i%len(nodes)], key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

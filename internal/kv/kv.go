@@ -1,0 +1,715 @@
+// Package kv implements the distributed key-value store of §III-A: the
+// single uniform interface VStore++ uses for object metadata, service
+// registration, and resource monitoring records. It is a DHT built on the
+// Chimera-style overlay: keys are routed to the node whose 40-bit ID is
+// closest to the key's hash.
+//
+// The store supports the paper's three overwrite policies ("an overwrite
+// policy value that determines if the metadata needs to be overwritten,
+// if newer version of metadata is to be added by chaining, or if an error
+// should be returned"), path caching ("key-value entries are cached onto
+// intermediate hops on each request's path"; caches are updated when the
+// entry is modified), and replication with a fixed factor, with key
+// redistribution when nodes depart.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloud4home/internal/ids"
+	"cloud4home/internal/overlay"
+)
+
+// WritePolicy selects the behaviour when a key already exists (§III-A).
+type WritePolicy int
+
+const (
+	// Overwrite replaces the existing value.
+	Overwrite WritePolicy = iota + 1
+	// Chain appends the value as a new version, keeping history.
+	Chain
+	// ErrorIfExists fails the put when the key is already present.
+	ErrorIfExists
+)
+
+// String renders the policy name.
+func (p WritePolicy) String() string {
+	switch p {
+	case Overwrite:
+		return "overwrite"
+	case Chain:
+		return "chain"
+	case ErrorIfExists:
+		return "error-if-exists"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", int(p))
+	}
+}
+
+// Errors returned by store operations.
+var (
+	ErrNotFound = errors.New("kv: key not found")
+	ErrExists   = errors.New("kv: key already exists")
+	ErrDetached = errors.New("kv: node not attached to store")
+)
+
+// Value is one version of a key's data.
+type Value struct {
+	Data    []byte
+	Version int
+}
+
+// clone returns a deep copy so callers cannot alias store internals.
+func (v Value) clone() Value {
+	d := make([]byte, len(v.Data))
+	copy(d, v.Data)
+	return Value{Data: d, Version: v.Version}
+}
+
+// Options configures a Store.
+type Options struct {
+	// ReplicationFactor is the number of copies beyond the owner
+	// (0 = owner only). The paper uses "a fixed replication factor".
+	ReplicationFactor int
+	// CacheEnabled turns on path caching of get results.
+	CacheEnabled bool
+	// Centralized selects the alternative metadata layer the paper names
+	// in §III-A ("there exist many alternative implementations of this
+	// layer ... including centralized ones"): every key lives on a single
+	// coordinator node (the first to attach). Lookups are one direct hop;
+	// the coordinator is a single point of failure. The DHT/centralized
+	// ablation compares the two.
+	Centralized bool
+}
+
+// GetResult reports a completed lookup.
+type GetResult struct {
+	Value Value
+	// Hops is the number of overlay hops the lookup travelled.
+	Hops int
+	// FromCache reports whether the result was served from a path cache
+	// (or the local store) rather than the key's owner.
+	FromCache bool
+}
+
+// PutResult reports a completed write.
+type PutResult struct {
+	// Version assigned to the stored value.
+	Version int
+	// Hops travelled to reach the owner.
+	Hops int
+	// Owner that now holds the primary copy.
+	Owner ids.ID
+}
+
+// nodeStore is one node's slice of the distributed store.
+type nodeStore struct {
+	mu      sync.Mutex
+	entries map[ids.ID][]Value         // primary + replica copies
+	cache   map[ids.ID][]Value         // path-cached copies
+	holders map[ids.ID]map[ids.ID]bool // owner-side: who caches each key
+}
+
+func newNodeStore() *nodeStore {
+	return &nodeStore{
+		entries: make(map[ids.ID][]Value),
+		cache:   make(map[ids.ID][]Value),
+		holders: make(map[ids.ID]map[ids.ID]bool),
+	}
+}
+
+// Store is the distributed key-value store spanning one home cloud.
+type Store struct {
+	mesh *overlay.Mesh
+	wire overlay.Wire
+	opts Options
+
+	mu          sync.RWMutex
+	nodes       map[ids.ID]*nodeStore
+	coordinator ids.ID // centralized mode: the node holding every key
+
+	stats Stats
+}
+
+// Stats counts store activity (used by the caching/replication ablations).
+type Stats struct {
+	mu        sync.Mutex
+	Lookups   int
+	CacheHits int
+	PutOps    int
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() (lookups, cacheHits, puts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Lookups, s.CacheHits, s.PutOps
+}
+
+// New returns a store over the mesh. Each participating node must be
+// registered with Attach after joining the overlay.
+func New(mesh *overlay.Mesh, wire overlay.Wire, opts Options) *Store {
+	if opts.ReplicationFactor < 0 {
+		opts.ReplicationFactor = 0
+	}
+	return &Store{
+		mesh:  mesh,
+		wire:  wire,
+		opts:  opts,
+		nodes: make(map[ids.ID]*nodeStore),
+	}
+}
+
+// Stats exposes the activity counters.
+func (s *Store) Stats() *Stats { return &s.stats }
+
+// Attach registers node as a participant and wires up the churn handlers
+// that keep data available across joins and departures.
+func (s *Store) Attach(node ids.ID) {
+	s.mu.Lock()
+	if _, ok := s.nodes[node]; ok {
+		s.mu.Unlock()
+		return
+	}
+	s.nodes[node] = newNodeStore()
+	if s.coordinator == 0 {
+		s.coordinator = node
+	}
+	others := make([]ids.ID, 0, len(s.nodes))
+	for id := range s.nodes {
+		if id != node {
+			others = append(others, id)
+		}
+	}
+	s.mu.Unlock()
+
+	s.mesh.OnDeparture(node, func(overlay.Member) { s.repair(node) })
+	s.mesh.OnJoin(node, func(joined overlay.Member) { s.handOver(node, joined.ID) })
+
+	// Nodes attach after joining the mesh, so the join handlers above ran
+	// before this slice existed. Pull the keys this node is now
+	// responsible for from the existing members.
+	for _, other := range others {
+		s.handOver(other, node)
+	}
+}
+
+// Detach removes a node's slice (after it has left the mesh).
+func (s *Store) Detach(node ids.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.nodes, node)
+}
+
+func (s *Store) node(id ids.ID) (*nodeStore, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ns, ok := s.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrDetached, id)
+	}
+	return ns, nil
+}
+
+// locateOwner resolves the node responsible for key from the requester's
+// position: the DHT route in the default mode, or one direct exchange
+// with the coordinator in centralized mode.
+func (s *Store) locateOwner(from, key ids.ID) (ids.ID, int, error) {
+	if s.opts.Centralized {
+		s.mu.RLock()
+		coord := s.coordinator
+		_, alive := s.nodes[coord]
+		s.mu.RUnlock()
+		if coord == 0 || !alive {
+			return 0, 0, fmt.Errorf("kv: %w (coordinator down)", ErrNotFound)
+		}
+		if coord != from {
+			s.wire.Send(from, coord)
+			return coord, 1, nil
+		}
+		return coord, 0, nil
+	}
+	res, err := s.mesh.Route(from, key)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Owner.ID, res.Hops, nil
+}
+
+// Put stores data under key, starting the request at node from. The write
+// is routed to the key's owner, applied under policy, replicated, and any
+// path caches of the key are refreshed ("whenever a key-value entry is
+// modified, the corresponding caches are also updated").
+func (s *Store) Put(from, key ids.ID, data []byte, policy WritePolicy) (PutResult, error) {
+	if _, err := s.node(from); err != nil {
+		return PutResult{}, err
+	}
+	s.stats.mu.Lock()
+	s.stats.PutOps++
+	s.stats.mu.Unlock()
+
+	ownerID, hops, err := s.locateOwner(from, key)
+	if err != nil {
+		return PutResult{}, fmt.Errorf("kv: put %s: %w", key, err)
+	}
+	ownerStore, err := s.node(ownerID)
+	if err != nil {
+		return PutResult{}, err
+	}
+
+	ownerStore.mu.Lock()
+	chain := ownerStore.entries[key]
+	var version int
+	switch policy {
+	case Chain:
+		version = len(chain) + 1
+		ownerStore.entries[key] = append(chain, Value{Data: cloneBytes(data), Version: version})
+	case ErrorIfExists:
+		if len(chain) > 0 {
+			ownerStore.mu.Unlock()
+			return PutResult{}, fmt.Errorf("kv: put %s: %w", key, ErrExists)
+		}
+		version = 1
+		ownerStore.entries[key] = []Value{{Data: cloneBytes(data), Version: version}}
+	default: // Overwrite
+		version = 1
+		if len(chain) > 0 {
+			version = chain[len(chain)-1].Version + 1
+		}
+		ownerStore.entries[key] = []Value{{Data: cloneBytes(data), Version: version}}
+	}
+	newChain := cloneChain(ownerStore.entries[key])
+	holders := make([]ids.ID, 0, len(ownerStore.holders[key]))
+	for h := range ownerStore.holders[key] {
+		holders = append(holders, h)
+	}
+	sort.Slice(holders, func(i, j int) bool { return holders[i] < holders[j] })
+	ownerStore.mu.Unlock()
+
+	s.replicate(ownerID, key, newChain)
+	s.refreshCaches(ownerID, key, newChain, holders)
+
+	return PutResult{Version: version, Hops: hops, Owner: ownerID}, nil
+}
+
+// replicate pushes the full chain to the replica set beyond the owner.
+func (s *Store) replicate(owner, key ids.ID, chain []Value) {
+	if s.opts.ReplicationFactor == 0 || s.opts.Centralized {
+		return
+	}
+	r, err := s.mesh.Router(owner)
+	if err != nil {
+		return
+	}
+	for _, m := range r.ReplicaSet(key, s.opts.ReplicationFactor+1) {
+		if m.ID == owner {
+			continue
+		}
+		rs, err := s.node(m.ID)
+		if err != nil {
+			continue
+		}
+		s.wire.Send(owner, m.ID)
+		rs.mu.Lock()
+		rs.entries[key] = cloneChain(chain)
+		rs.mu.Unlock()
+	}
+}
+
+// refreshCaches pushes the updated chain to every node caching the key.
+func (s *Store) refreshCaches(owner, key ids.ID, chain []Value, holders []ids.ID) {
+	for _, h := range holders {
+		hs, err := s.node(h)
+		if err != nil {
+			continue
+		}
+		s.wire.Send(owner, h)
+		hs.mu.Lock()
+		if _, cached := hs.cache[key]; cached {
+			hs.cache[key] = cloneChain(chain)
+		}
+		hs.mu.Unlock()
+	}
+}
+
+// Get returns the latest version of key, starting at node from. The local
+// store and caches on the routing path can satisfy the lookup early.
+func (s *Store) Get(from, key ids.ID) (GetResult, error) {
+	chain, hops, cached, err := s.getChain(from, key)
+	if err != nil {
+		return GetResult{}, err
+	}
+	return GetResult{
+		Value:     chain[len(chain)-1].clone(),
+		Hops:      hops,
+		FromCache: cached,
+	}, nil
+}
+
+// GetAll returns the full version chain of key (meaningful with the Chain
+// write policy), oldest first.
+func (s *Store) GetAll(from, key ids.ID) ([]Value, int, error) {
+	chain, hops, _, err := s.getChain(from, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cloneChain(chain), hops, nil
+}
+
+func (s *Store) getChain(from, key ids.ID) (chain []Value, hops int, cached bool, err error) {
+	fromStore, err := s.node(from)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	s.stats.mu.Lock()
+	s.stats.Lookups++
+	s.stats.mu.Unlock()
+
+	// Local copy (primary, replica, or cache) short-circuits the lookup.
+	if c, fromCache, ok := fromStore.lookup(key); ok {
+		if fromCache {
+			s.stats.mu.Lock()
+			s.stats.CacheHits++
+			s.stats.mu.Unlock()
+		}
+		return c, 0, true, nil
+	}
+
+	if s.opts.Centralized {
+		ownerID, h, lerr := s.locateOwner(from, key)
+		if lerr != nil {
+			return nil, 0, false, fmt.Errorf("kv: get %s: %w", key, lerr)
+		}
+		ownerStore, nerr := s.node(ownerID)
+		if nerr != nil {
+			return nil, h, false, nerr
+		}
+		if c, _, ok := ownerStore.lookup(key); ok {
+			s.populatePathCaches(key, c, []ids.ID{from}, ownerID)
+			return c, h, false, nil
+		}
+		return nil, h, false, fmt.Errorf("kv: get %s: %w", key, ErrNotFound)
+	}
+
+	r, err := s.mesh.Router(from)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	// Walk hop-by-hop so intermediate caches can answer.
+	cur := r
+	visited := []ids.ID{from}
+	for {
+		next, forward := cur.NextHop(key)
+		if !forward {
+			break
+		}
+		s.wire.Send(cur.Self().ID, next.ID)
+		hops++
+		nextStore, nerr := s.node(next.ID)
+		if nerr != nil {
+			return nil, hops, false, nerr
+		}
+		if c, fromCache, ok := nextStore.lookup(key); ok {
+			if fromCache {
+				s.stats.mu.Lock()
+				s.stats.CacheHits++
+				s.stats.mu.Unlock()
+			}
+			s.populatePathCaches(key, c, visited, next.ID)
+			return c, hops, true, nil
+		}
+		visited = append(visited, next.ID)
+		nr, rerr := s.mesh.Router(next.ID)
+		if rerr != nil {
+			return nil, hops, false, rerr
+		}
+		cur = nr
+	}
+
+	// cur is the owner and had no entry.
+	return nil, hops, false, fmt.Errorf("kv: get %s: %w", key, ErrNotFound)
+}
+
+// populatePathCaches caches the chain on the intermediate hops of a
+// successful lookup and records the holders at the serving node.
+func (s *Store) populatePathCaches(key ids.ID, chain []Value, path []ids.ID, server ids.ID) {
+	if !s.opts.CacheEnabled {
+		return
+	}
+	srv, err := s.node(server)
+	if err != nil {
+		return
+	}
+	for _, id := range path {
+		ns, err := s.node(id)
+		if err != nil {
+			continue
+		}
+		ns.mu.Lock()
+		ns.cache[key] = cloneChain(chain)
+		ns.mu.Unlock()
+		srv.mu.Lock()
+		if srv.holders[key] == nil {
+			srv.holders[key] = make(map[ids.ID]bool)
+		}
+		srv.holders[key][id] = true
+		srv.mu.Unlock()
+	}
+}
+
+// lookup returns the chain held locally, preferring authoritative copies
+// over cached ones.
+func (ns *nodeStore) lookup(key ids.ID) (chain []Value, fromCache, ok bool) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if c, ok := ns.entries[key]; ok && len(c) > 0 {
+		return cloneChain(c), false, true
+	}
+	if c, ok := ns.cache[key]; ok && len(c) > 0 {
+		return cloneChain(c), true, true
+	}
+	return nil, false, false
+}
+
+// Delete removes key everywhere: owner, replicas, and caches.
+func (s *Store) Delete(from, key ids.ID) error {
+	if _, err := s.node(from); err != nil {
+		return err
+	}
+	ownerID, _, err := s.locateOwner(from, key)
+	if err != nil {
+		return fmt.Errorf("kv: delete %s: %w", key, err)
+	}
+	ownerStore, err := s.node(ownerID)
+	if err != nil {
+		return err
+	}
+	ownerStore.mu.Lock()
+	_, existed := ownerStore.entries[key]
+	delete(ownerStore.entries, key)
+	holders := make([]ids.ID, 0, len(ownerStore.holders[key]))
+	for h := range ownerStore.holders[key] {
+		holders = append(holders, h)
+	}
+	delete(ownerStore.holders, key)
+	ownerStore.mu.Unlock()
+	if !existed {
+		return fmt.Errorf("kv: delete %s: %w", key, ErrNotFound)
+	}
+	// Purge replicas and caches everywhere (at home scale replica sets may
+	// have shifted since the write, so a sweep is the robust choice).
+	s.mu.RLock()
+	otherIDs := make([]ids.ID, 0, len(s.nodes))
+	for id := range s.nodes {
+		if id != ownerID {
+			otherIDs = append(otherIDs, id)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(otherIDs, func(i, j int) bool { return otherIDs[i] < otherIDs[j] })
+	holderSet := make(map[ids.ID]bool, len(holders))
+	for _, h := range holders {
+		holderSet[h] = true
+	}
+	for _, id := range otherIDs {
+		ns, err := s.node(id)
+		if err != nil {
+			continue
+		}
+		ns.mu.Lock()
+		_, hadEntry := ns.entries[key]
+		_, hadCache := ns.cache[key]
+		delete(ns.entries, key)
+		delete(ns.cache, key)
+		ns.mu.Unlock()
+		if hadEntry || hadCache || holderSet[id] {
+			s.wire.Send(ownerID, id)
+		}
+	}
+	return nil
+}
+
+// Keys returns all keys for which node holds an authoritative copy.
+func (s *Store) Keys(node ids.ID) ([]ids.ID, error) {
+	ns, err := s.node(node)
+	if err != nil {
+		return nil, err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make([]ids.ID, 0, len(ns.entries))
+	for k := range ns.entries {
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// repair runs at a surviving node after a peer departed: every key this
+// node holds authoritatively is re-pushed to its (possibly new) replica
+// set, restoring both ownership and the replication factor. This is the
+// "departing node's keys are always redistributed" mechanism, driven by
+// the replicas when the departure was a crash.
+func (s *Store) repair(node ids.ID) {
+	if s.opts.Centralized {
+		return // nothing to repair: the coordinator holds everything
+	}
+	ns, err := s.node(node)
+	if err != nil {
+		return
+	}
+	r, err := s.mesh.Router(node)
+	if err != nil {
+		return
+	}
+	ns.mu.Lock()
+	keys := make([]ids.ID, 0, len(ns.entries))
+	for k := range ns.entries {
+		keys = append(keys, k)
+	}
+	ns.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		ns.mu.Lock()
+		chain := cloneChain(ns.entries[key])
+		ns.mu.Unlock()
+		if len(chain) == 0 {
+			continue
+		}
+		for _, m := range r.ReplicaSet(key, s.opts.ReplicationFactor+1) {
+			if m.ID == node {
+				continue
+			}
+			ms, err := s.node(m.ID)
+			if err != nil {
+				continue
+			}
+			ms.mu.Lock()
+			if len(ms.entries[key]) < len(chain) {
+				ms.entries[key] = cloneChain(chain)
+				ms.mu.Unlock()
+				s.wire.Send(node, m.ID)
+			} else {
+				ms.mu.Unlock()
+			}
+		}
+	}
+}
+
+// handOver runs at an existing node when a newcomer joins: keys the
+// newcomer now owns (or should replicate) are pushed to it.
+func (s *Store) handOver(node, newcomer ids.ID) {
+	if s.opts.Centralized {
+		return
+	}
+	ns, err := s.node(node)
+	if err != nil {
+		return
+	}
+	r, err := s.mesh.Router(node)
+	if err != nil {
+		return
+	}
+	nsNew, err := s.node(newcomer)
+	if err != nil {
+		return // newcomer not attached yet; it will sync when attached
+	}
+	ns.mu.Lock()
+	keys := make([]ids.ID, 0, len(ns.entries))
+	for k := range ns.entries {
+		keys = append(keys, k)
+	}
+	ns.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		inSet := false
+		for _, m := range r.ReplicaSet(key, s.opts.ReplicationFactor+1) {
+			if m.ID == newcomer {
+				inSet = true
+				break
+			}
+		}
+		if !inSet {
+			continue
+		}
+		ns.mu.Lock()
+		chain := cloneChain(ns.entries[key])
+		ns.mu.Unlock()
+		if len(chain) == 0 {
+			continue
+		}
+		s.wire.Send(node, newcomer)
+		nsNew.mu.Lock()
+		if len(nsNew.entries[key]) < len(chain) {
+			nsNew.entries[key] = chain
+		}
+		nsNew.mu.Unlock()
+	}
+}
+
+// Depart gracefully removes node from the store and the mesh: its keys
+// are pushed to their next-closest holders before it disappears, so even
+// with replication disabled no data is lost on a clean leave.
+func (s *Store) Depart(node ids.ID) error {
+	ns, err := s.node(node)
+	if err != nil {
+		return err
+	}
+	r, err := s.mesh.Router(node)
+	if err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	keys := make([]ids.ID, 0, len(ns.entries))
+	for k := range ns.entries {
+		keys = append(keys, k)
+	}
+	ns.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		ns.mu.Lock()
+		chain := cloneChain(ns.entries[key])
+		ns.mu.Unlock()
+		if len(chain) == 0 {
+			continue
+		}
+		// Push to the rf+1 closest members besides ourselves: after we
+		// leave, the first of them is the key's new owner.
+		for _, m := range r.ReplicaSet(key, s.opts.ReplicationFactor+2) {
+			if m.ID == node {
+				continue
+			}
+			ms, merr := s.node(m.ID)
+			if merr != nil {
+				continue
+			}
+			s.wire.Send(node, m.ID)
+			ms.mu.Lock()
+			if len(ms.entries[key]) < len(chain) {
+				ms.entries[key] = cloneChain(chain)
+			}
+			ms.mu.Unlock()
+		}
+	}
+	if err := s.mesh.Leave(node); err != nil {
+		return err
+	}
+	s.Detach(node)
+	return nil
+}
+
+func cloneBytes(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+func cloneChain(chain []Value) []Value {
+	out := make([]Value, len(chain))
+	for i, v := range chain {
+		out[i] = v.clone()
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package netsim
+
+import "time"
+
+// Calibration constants for the paper's testbed (§V). Values are chosen so
+// the reproduced experiments match the paper's measurements in shape:
+// effective per-node streaming rate ≈ 7.4 MB/s (Table I: 100 MB inter-node
+// fetch ≈ 13.6 s), LAN fabric 95.5 Mbps, WAN ≈ 1.4 MB/s peak download with
+// an S3-style 1.6 MB window cap and ISP shaping of long transfers.
+const (
+	// MB is one megabyte in bytes (the unit used throughout the paper).
+	MB = int64(1 << 20)
+
+	// LANFabricBps is the shared home Ethernet capacity (95.5 Mbps).
+	LANFabricBps = 95.5 / 8 * 1e6
+	// NodeNICBps is the effective per-device streaming capacity
+	// (NIC + disk + protocol stack), calibrated against Table I.
+	NodeNICBps = 7.4e6
+	// LANRTT is the home-network round trip.
+	LANRTT = 2 * time.Millisecond
+	// LANJitter is the (small) home-network variability.
+	LANJitter = 0.04
+
+	// WifiNICBps is the effective streaming capacity of an in-home
+	// wireless device — the paper's interactions happen "across wireless
+	// networks ... or across a mix of wired and wireless links when
+	// operating in a user's home" (§I).
+	WifiNICBps = 2.4e6
+	// WifiRTT and WifiJitter capture the wireless hop's extra latency and
+	// variability relative to the wired LAN.
+	WifiRTT    = 6 * time.Millisecond
+	WifiJitter = 0.15
+
+	// WANDownBps and WANUpBps are the steady-state rates to the remote
+	// cloud after the TCP window has opened. Download exceeds upload,
+	// which produces Fig 4's store/fetch asymmetry for remote accesses.
+	WANDownBps = 1.45e6
+	WANUpBps   = 0.75e6
+	// WANRTT is the home↔cloud round trip over the shared Internet.
+	WANRTT = 180 * time.Millisecond
+	// WANSetup is per-request fixed overhead (TCP+TLS handshake, S3 API).
+	WANSetup = 1800 * time.Millisecond
+	// WANJitter is the large wide-area variability.
+	WANJitter = 0.22
+
+	// S3InitWindow and S3MaxWindow model the provider-side TCP window:
+	// "cloud providers such as S3 increase the TCP window size during a
+	// single transfer up to some maximum limit, approximately 1.6 MB".
+	S3InitWindow = 16 << 10
+	S3MaxWindow  = 1638 << 10
+
+	// ShapingAfter and ShapingFactor model ISP traffic policing of "long
+	// bandwidth-hogging data transfers": beyond ~30 s of sustained
+	// transfer the rate drops, which caps the useful object size (Fig 5).
+	ShapingAfter  = 30 * time.Second
+	ShapingFactor = 0.52
+)
+
+// HomePath builds the path for a transfer between two home nodes: source
+// NIC → shared LAN fabric → destination NIC.
+func HomePath(src, dst *Resource, fabric *Resource) *Path {
+	return &Path{
+		Resources: []*Resource{src, fabric, dst},
+		RTT:       LANRTT,
+		Jitter:    LANJitter,
+	}
+}
+
+// HomePathMixed builds a home path where either endpoint may sit on the
+// wireless segment: the RTT and jitter of the worst hop dominate.
+func HomePathMixed(src, dst *Resource, fabric *Resource, srcWireless, dstWireless bool) *Path {
+	p := HomePath(src, dst, fabric)
+	if srcWireless || dstWireless {
+		p.RTT = WifiRTT
+		p.Jitter = WifiJitter
+	}
+	return p
+}
+
+// WANDownPath builds the path for fetching an object from the remote
+// cloud into the home (cloud → Internet → home node).
+func WANDownPath(wan *Resource, dst *Resource) *Path {
+	return &Path{
+		Resources: []*Resource{wan, dst},
+		RTT:       WANRTT,
+		Setup:     WANSetup,
+		Jitter:    WANJitter,
+		SlowStart: &SlowStart{InitWindow: S3InitWindow, MaxWindow: S3MaxWindow},
+		Shaping:   &Shaping{After: ShapingAfter, RateFactor: ShapingFactor},
+	}
+}
+
+// WANUpPath builds the path for storing an object from a home node into
+// the remote cloud.
+func WANUpPath(src *Resource, wan *Resource) *Path {
+	return &Path{
+		Resources: []*Resource{src, wan},
+		RTT:       WANRTT,
+		Setup:     WANSetup,
+		Jitter:    WANJitter,
+		SlowStart: &SlowStart{InitWindow: S3InitWindow, MaxWindow: S3MaxWindow},
+		Shaping:   &Shaping{After: ShapingAfter, RateFactor: ShapingFactor},
+	}
+}

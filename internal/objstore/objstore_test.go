@@ -1,0 +1,245 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := NewMem(1<<20, 1<<20)
+	data := []byte("surveillance frame bytes")
+	obj := Object{Name: "cam0/frame-1.jpg", Type: "image/jpeg", Tags: []string{"camera0"}}
+	if err := s.Put(Mandatory, obj, data); err != nil {
+		t.Fatal(err)
+	}
+	meta, got, err := s.Get("cam0/frame-1.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	if meta.Size != int64(len(data)) {
+		t.Fatalf("meta.Size = %d, want %d", meta.Size, len(data))
+	}
+	if meta.Type != "image/jpeg" || len(meta.Tags) != 1 {
+		t.Fatalf("metadata lost: %+v", meta)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := NewMem(100, 100)
+	if _, _, err := s.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+	if _, _, err := s.Stat("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stat: got %v, want ErrNotFound", err)
+	}
+	if err := s.Delete("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	s := NewMem(1000, 1000)
+	obj := Object{Name: "dup"}
+	if err := s.Put(Mandatory, obj, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Voluntary, obj, []byte("b")); !errors.Is(err, ErrExists) {
+		t.Fatalf("got %v, want ErrExists", err)
+	}
+}
+
+func TestBinCapacityEnforced(t *testing.T) {
+	s := NewMem(100, 50)
+	if err := s.Put(Mandatory, Object{Name: "a"}, make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	// 80/100 used: a 30-byte object no longer fits the mandatory bin.
+	err := s.Put(Mandatory, Object{Name: "b"}, make([]byte, 30))
+	if !errors.Is(err, ErrBinFull) {
+		t.Fatalf("got %v, want ErrBinFull", err)
+	}
+	// But it fits the voluntary bin.
+	if err := s.Put(Voluntary, Object{Name: "b"}, make([]byte, 30)); err != nil {
+		t.Fatal(err)
+	}
+	mu, _ := s.Usage(Mandatory)
+	vu, _ := s.Usage(Voluntary)
+	if mu.Used != 80 || vu.Used != 30 {
+		t.Fatalf("usage = %d/%d, want 80/30", mu.Used, vu.Used)
+	}
+	if mu.Free() != 20 || vu.Free() != 20 {
+		t.Fatalf("free = %d/%d, want 20/20", mu.Free(), vu.Free())
+	}
+}
+
+func TestDeleteReclaimsSpace(t *testing.T) {
+	s := NewMem(100, 0)
+	if err := s.Put(Mandatory, Object{Name: "x"}, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Mandatory, Object{Name: "y"}, []byte("z")); !errors.Is(err, ErrBinFull) {
+		t.Fatalf("bin should be full, got %v", err)
+	}
+	if err := s.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	u, _ := s.Usage(Mandatory)
+	if u.Used != 0 || u.Objects != 0 {
+		t.Fatalf("usage after delete = %+v", u)
+	}
+	if err := s.Put(Mandatory, Object{Name: "y"}, []byte("z")); err != nil {
+		t.Fatalf("space not reclaimed: %v", err)
+	}
+}
+
+func TestSparseObjects(t *testing.T) {
+	s := NewMem(1<<30, 0)
+	// A 100 MB synthetic object: size accounted, no bytes materialised.
+	obj := Object{Name: "big.avi", Size: 100 << 20}
+	if err := s.Put(Mandatory, obj, nil); err != nil {
+		t.Fatal(err)
+	}
+	meta, data, err := s.Get("big.avi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data != nil {
+		t.Fatal("sparse object returned bytes")
+	}
+	if meta.Size != 100<<20 {
+		t.Fatalf("sparse size = %d", meta.Size)
+	}
+	u, _ := s.Usage(Mandatory)
+	if u.Used != 100<<20 {
+		t.Fatalf("sparse object not accounted: used=%d", u.Used)
+	}
+}
+
+func TestNegativeSparseSizeRejected(t *testing.T) {
+	s := NewMem(100, 100)
+	if err := s.Put(Mandatory, Object{Name: "neg", Size: -5}, nil); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestEmptyNameRejected(t *testing.T) {
+	s := NewMem(100, 100)
+	if err := s.Put(Mandatory, Object{}, []byte("x")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestUnknownBin(t *testing.T) {
+	s := NewMem(100, 100)
+	if err := s.Put(Bin(9), Object{Name: "x"}, nil); !errors.Is(err, ErrBadBin) {
+		t.Fatalf("got %v, want ErrBadBin", err)
+	}
+	if _, err := s.Usage(Bin(9)); !errors.Is(err, ErrBadBin) {
+		t.Fatalf("Usage: got %v, want ErrBadBin", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewMem(1000, 1000)
+	names := map[string]bool{"a": true, "b": true, "c": true}
+	for n := range names {
+		if err := s.Put(Mandatory, Object{Name: n}, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.List()
+	if len(got) != 3 {
+		t.Fatalf("List returned %d names", len(got))
+	}
+	for _, n := range got {
+		if !names[n] {
+			t.Fatalf("unexpected name %q", n)
+		}
+	}
+}
+
+func TestDiskBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir, 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("on-disk object payload")
+	if err := s.Put(Voluntary, Object{Name: "path/with/slashes.bin", Type: "bin"}, data); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := s.Get("path/with/slashes.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("disk round trip corrupted payload")
+	}
+	if err := s.Delete("path/with/slashes.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("path/with/slashes.bin") {
+		t.Fatal("object still present after delete")
+	}
+}
+
+func TestDiskSparseFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir, 1<<40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Mandatory, Object{Name: "sparse.dat", Size: 1 << 20}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := s.Get("sparse.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != 1<<20 {
+		t.Fatalf("sparse file read %d bytes, want %d", len(data), 1<<20)
+	}
+}
+
+func TestQuickCapacityInvariant(t *testing.T) {
+	// Property: used never exceeds capacity and equals the sum of live
+	// object sizes, under arbitrary put/delete sequences.
+	f := func(ops []uint16) bool {
+		s := NewMem(10_000, 10_000)
+		live := map[string]int64{}
+		for i, op := range ops {
+			name := fmt.Sprintf("o%d", op%32)
+			size := int64(op % 700)
+			if op%3 == 0 {
+				if err := s.Delete(name); err == nil {
+					delete(live, name)
+				}
+				continue
+			}
+			bin := Mandatory
+			if op%2 == 0 {
+				bin = Voluntary
+			}
+			if err := s.Put(bin, Object{Name: name, Size: size}, nil); err == nil {
+				live[name] = size
+			}
+			_ = i
+		}
+		var want int64
+		for _, sz := range live {
+			want += sz
+		}
+		mu, _ := s.Usage(Mandatory)
+		vu, _ := s.Usage(Voluntary)
+		return mu.Used+vu.Used == want && mu.Used <= mu.Capacity && vu.Used <= vu.Capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloud4home/internal/ids"
+)
+
+// Wire charges the delivery cost of one small control message between two
+// overlay nodes. The simulation backs it with netsim; unit tests may use
+// a free wire; a real deployment sends actual packets.
+type Wire interface {
+	Send(from, to ids.ID)
+}
+
+// FreeWire is a Wire with no cost, for unit tests.
+type FreeWire struct{}
+
+var _ Wire = FreeWire{}
+
+// Send implements Wire.
+func (FreeWire) Send(_, _ ids.ID) {}
+
+// Errors returned by Mesh operations.
+var (
+	ErrUnknownNode = errors.New("overlay: unknown node")
+	ErrDuplicateID = errors.New("overlay: duplicate node id")
+	ErrEmptyMesh   = errors.New("overlay: mesh has no nodes")
+)
+
+// DepartureHandler is invoked on every surviving node when a peer leaves,
+// after membership has been updated. The key-value store uses it to
+// redistribute the departed node's keys ("a departing node's keys are
+// always redistributed among the available set of nodes", §III-A).
+type DepartureHandler func(departed Member)
+
+// JoinHandler is invoked on every pre-existing node when a peer joins,
+// after membership has been updated; the key-value store uses it to hand
+// over keys the newcomer now owns.
+type JoinHandler func(joined Member)
+
+// Mesh is an in-process home-cloud overlay: a set of routers connected by
+// a Wire. It implements the dynamic overlay reconfiguration of §III-A —
+// nodes join and leave at runtime, neighbours are notified, and routing
+// proceeds hop-by-hop with per-hop cost.
+type Mesh struct {
+	wire Wire
+
+	mu          sync.RWMutex
+	nodes       map[ids.ID]*Router
+	onJoin      map[ids.ID]JoinHandler
+	onDeparture map[ids.ID]DepartureHandler
+}
+
+// sortRouters orders routers by ID so membership iteration (and thus
+// handler execution and wire-message order) is deterministic.
+func sortRouters(rs []*Router) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Self().ID < rs[j].Self().ID })
+}
+
+// NewMesh returns an empty mesh over the given wire.
+func NewMesh(wire Wire) *Mesh {
+	return &Mesh{
+		wire:        wire,
+		nodes:       make(map[ids.ID]*Router),
+		onJoin:      make(map[ids.ID]JoinHandler),
+		onDeparture: make(map[ids.ID]DepartureHandler),
+	}
+}
+
+// Join adds a node with the given address to the overlay and returns its
+// router. Every node learns of the newcomer (at home-cloud scale the
+// membership view is complete); the newcomer's ring neighbours are
+// notified first, as in the paper's protocol.
+func (m *Mesh) Join(addr string) (*Router, error) {
+	id := ids.HashString(addr)
+	m.mu.Lock()
+	if _, dup := m.nodes[id]; dup {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s (addr %q)", ErrDuplicateID, id, addr)
+	}
+	self := Member{ID: id, Addr: addr}
+	r := NewRouter(self)
+	existing := make([]*Router, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		existing = append(existing, n)
+	}
+	sortRouters(existing)
+	m.nodes[id] = r
+	joinHandlers := make(map[ids.ID]JoinHandler, len(m.onJoin))
+	for k, v := range m.onJoin {
+		joinHandlers[k] = v
+	}
+	m.mu.Unlock()
+
+	// The newcomer learns the membership from its bootstrap exchange.
+	for _, n := range existing {
+		r.AddMember(n.Self())
+	}
+	// "Whenever a node enters ... it sends a message to its right and
+	// left nodes in the logical tree structure"; the remaining members
+	// learn via the membership update that follows.
+	if left, right, ok := r.Neighbors(); ok {
+		m.wire.Send(id, left.ID)
+		if right.ID != left.ID {
+			m.wire.Send(id, right.ID)
+		}
+	}
+	for _, n := range existing {
+		n.AddMember(self)
+	}
+	for _, n := range existing {
+		if h := joinHandlers[n.Self().ID]; h != nil {
+			h(self)
+		}
+	}
+	return r, nil
+}
+
+// Leave removes the node from the overlay gracefully: neighbours are
+// messaged, membership updated everywhere, and departure handlers run so
+// higher layers can redistribute the node's keys.
+func (m *Mesh) Leave(id ids.ID) error {
+	m.mu.Lock()
+	r, ok := m.nodes[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	delete(m.nodes, id)
+	delete(m.onJoin, id)
+	delete(m.onDeparture, id)
+	survivors := make([]*Router, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		survivors = append(survivors, n)
+	}
+	sortRouters(survivors)
+	handlers := make(map[ids.ID]DepartureHandler, len(m.onDeparture))
+	for k, v := range m.onDeparture {
+		handlers[k] = v
+	}
+	m.mu.Unlock()
+
+	departed := r.Self()
+	if left, right, ok := r.Neighbors(); ok {
+		m.wire.Send(id, left.ID)
+		if right.ID != left.ID {
+			m.wire.Send(id, right.ID)
+		}
+	}
+	for _, n := range survivors {
+		n.RemoveMember(id)
+	}
+	for _, n := range survivors {
+		if h := handlers[n.Self().ID]; h != nil {
+			h(departed)
+		}
+	}
+	return nil
+}
+
+// Fail removes the node abruptly (crash): no farewell messages, but
+// survivors still detect the departure and run their handlers, relying on
+// replicated state rather than a handover from the failed node.
+func (m *Mesh) Fail(id ids.ID) error {
+	m.mu.Lock()
+	r, ok := m.nodes[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	delete(m.nodes, id)
+	delete(m.onJoin, id)
+	delete(m.onDeparture, id)
+	survivors := make([]*Router, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		survivors = append(survivors, n)
+	}
+	sortRouters(survivors)
+	handlers := make(map[ids.ID]DepartureHandler, len(m.onDeparture))
+	for k, v := range m.onDeparture {
+		handlers[k] = v
+	}
+	m.mu.Unlock()
+
+	departed := r.Self()
+	for _, n := range survivors {
+		n.RemoveMember(id)
+	}
+	for _, n := range survivors {
+		if h := handlers[n.Self().ID]; h != nil {
+			h(departed)
+		}
+	}
+	return nil
+}
+
+// OnJoin registers a handler run at node whenever another node joins.
+func (m *Mesh) OnJoin(node ids.ID, h JoinHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onJoin[node] = h
+}
+
+// OnDeparture registers a handler run at node whenever another node
+// leaves or fails.
+func (m *Mesh) OnDeparture(node ids.ID, h DepartureHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onDeparture[node] = h
+}
+
+// Router returns the router of a live node.
+func (m *Mesh) Router(id ids.ID) (*Router, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	return r, nil
+}
+
+// Nodes returns the IDs of all live nodes in ring order, so callers
+// iterate deterministically.
+func (m *Mesh) Nodes() []ids.ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]ids.ID, 0, len(m.nodes))
+	for id := range m.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the number of live nodes.
+func (m *Mesh) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.nodes)
+}
+
+// RouteResult describes one completed routing operation.
+type RouteResult struct {
+	// Owner is the node responsible for the key.
+	Owner Member
+	// Hops is the number of overlay hops taken (0 when the origin owns
+	// the key).
+	Hops int
+	// Path lists every node visited, origin first, owner last.
+	Path []Member
+}
+
+// Route walks the overlay hop-by-hop from the origin node toward the
+// owner of key, charging one wire message per hop, and returns the
+// result. This is the primitive beneath every DHT put/get.
+func (m *Mesh) Route(from ids.ID, key ids.ID) (RouteResult, error) {
+	m.mu.RLock()
+	cur, ok := m.nodes[from]
+	n := len(m.nodes)
+	m.mu.RUnlock()
+	if !ok {
+		return RouteResult{}, fmt.Errorf("%w: %s", ErrUnknownNode, from)
+	}
+	if n == 0 {
+		return RouteResult{}, ErrEmptyMesh
+	}
+	res := RouteResult{Path: []Member{cur.Self()}}
+	for attempt := 0; attempt <= 2*n+4; attempt++ {
+		next, forward := cur.NextHop(key)
+		if !forward {
+			res.Owner = cur.Self()
+			return res, nil
+		}
+		m.wire.Send(cur.Self().ID, next.ID)
+		res.Hops++
+		res.Path = append(res.Path, next)
+		m.mu.RLock()
+		nr, live := m.nodes[next.ID]
+		m.mu.RUnlock()
+		if !live {
+			// Stale routing entry pointing at a dead node: drop it and
+			// retry from the same position.
+			cur.RemoveMember(next.ID)
+			res.Hops--
+			res.Path = res.Path[:len(res.Path)-1]
+			continue
+		}
+		cur = nr
+	}
+	return RouteResult{}, fmt.Errorf("overlay: routing for key %s did not converge", key)
+}

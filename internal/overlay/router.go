@@ -1,0 +1,220 @@
+// Package overlay implements the Chimera-style structured peer-to-peer
+// overlay VStore++ builds its metadata layer on (§III-A). Like Chimera —
+// "a lightweight C implementation of a structured overlay that provides
+// functionality [similar] to prefix routing protocols like Tapestry and
+// Pastry" — routing proceeds hex-digit by hex-digit toward the node whose
+// 40-bit identifier is numerically closest to the key.
+//
+// Each node keeps (i) a prefix routing table and (ii) the "logical tree
+// view of other nodes in the overlay, implemented as a red-black tree"
+// (paper Fig 2). At home-cloud scale (a handful of devices) the tree holds
+// the full membership; routing still steps hop-by-hop through the prefix
+// table so lookup costs behave like the real protocol's.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloud4home/internal/ids"
+	"cloud4home/internal/rbtree"
+)
+
+// Member is the membership record one node keeps about another.
+type Member struct {
+	// ID is the node's 40-bit overlay identifier (hash of its address).
+	ID ids.ID
+	// Addr is the node's reachable address ("10.0.0.7:9000").
+	Addr string
+}
+
+// Router is the per-node routing state machine. It is pure: it neither
+// sends messages nor sleeps; Mesh (or a real transport) drives it.
+type Router struct {
+	self Member
+
+	mu      sync.RWMutex
+	members *rbtree.Tree[Member]          // logical tree view incl. self
+	table   [ids.Digits][ids.Base]*Member // prefix routing table
+}
+
+// NewRouter returns a router for the given node, initially alone.
+func NewRouter(self Member) *Router {
+	r := &Router{self: self, members: rbtree.New[Member]()}
+	r.members.Insert(self.ID, self)
+	return r
+}
+
+// Self returns this node's membership record.
+func (r *Router) Self() Member { return r.self }
+
+// AddMember records a peer and refreshes the routing table.
+func (r *Router) AddMember(m Member) {
+	if m.ID == r.self.ID {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.members.Insert(m.ID, m)
+	r.installRoute(m)
+}
+
+// RemoveMember forgets a peer (it left or failed) and rebuilds the
+// affected routing entries.
+func (r *Router) RemoveMember(id ids.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members.Delete(id) {
+		return
+	}
+	// Drop every table slot pointing at the departed node, then refill
+	// from the remaining membership.
+	for i := range r.table {
+		for j := range r.table[i] {
+			if r.table[i][j] != nil && r.table[i][j].ID == id {
+				r.table[i][j] = nil
+			}
+		}
+	}
+	r.members.Ascend(func(_ ids.ID, m Member) bool {
+		if m.ID != r.self.ID {
+			r.installRoute(m)
+		}
+		return true
+	})
+}
+
+// installRoute places m into the prefix routing table. Caller holds mu.
+func (r *Router) installRoute(m Member) {
+	l := ids.CommonPrefixLen(r.self.ID, m.ID)
+	if l == ids.Digits {
+		return // identical ID; cannot happen for distinct nodes
+	}
+	d := m.ID.Digit(l)
+	cur := r.table[l][d]
+	// Prefer the entry numerically closest to our own ID in that slot,
+	// mirroring Pastry's proximity heuristic deterministically.
+	if cur == nil || ids.Closer(r.self.ID, m.ID, cur.ID) {
+		mm := m
+		r.table[l][d] = &mm
+	}
+}
+
+// Members returns a snapshot of the membership (including self) in ring
+// order.
+func (r *Router) Members() []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, r.members.Len())
+	r.members.Ascend(func(_ ids.ID, m Member) bool {
+		out = append(out, m)
+		return true
+	})
+	return out
+}
+
+// Len returns the number of known members including self.
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members.Len()
+}
+
+// Knows reports whether the router has a record for id.
+func (r *Router) Knows(id ids.ID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members.Get(id)
+	return ok
+}
+
+// Neighbors returns this node's left and right neighbours in the logical
+// tree: the nodes notified on join and departure (§III-A). With fewer
+// than two peers, both neighbours may be the same node or absent.
+func (r *Router) Neighbors() (left, right Member, ok bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.members.Len() < 2 {
+		return Member{}, Member{}, false
+	}
+	_, l, _ := r.members.Predecessor(r.self.ID)
+	_, rt, _ := r.members.Successor(r.self.ID)
+	return l, rt, true
+}
+
+// Owner returns the member whose ID is numerically closest to key under
+// the ring metric — the node responsible for the key ("the object
+// information is routed to a node with an ID closest to the hash value").
+func (r *Router) Owner(key ids.ID) Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	best := r.self
+	r.members.Ascend(func(_ ids.ID, m Member) bool {
+		if ids.Closer(key, m.ID, best.ID) {
+			best = m
+		}
+		return true
+	})
+	return best
+}
+
+// IsOwner reports whether this node is responsible for key.
+func (r *Router) IsOwner(key ids.ID) bool {
+	return r.Owner(key).ID == r.self.ID
+}
+
+// NextHop performs one prefix-routing step toward key. It returns
+// (self, false) when this node is the key's owner, otherwise the next
+// node to forward to and true.
+func (r *Router) NextHop(key ids.ID) (Member, bool) {
+	if r.IsOwner(key) {
+		return r.self, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	l := ids.CommonPrefixLen(key, r.self.ID)
+	if l < ids.Digits {
+		if m := r.table[l][key.Digit(l)]; m != nil {
+			return *m, true
+		}
+	}
+	// No prefix match: fall back to the member strictly closest to the
+	// key (always exists since we are not the owner).
+	best := r.self
+	r.members.Ascend(func(_ ids.ID, m Member) bool {
+		if ids.Closer(key, m.ID, best.ID) {
+			best = m
+		}
+		return true
+	})
+	if best.ID == r.self.ID {
+		return r.self, false
+	}
+	return best, true
+}
+
+// ReplicaSet returns the n distinct members closest to key in ring-metric
+// order (the owner first). Used by the key-value store's replication and
+// by departure-time key redistribution.
+func (r *Router) ReplicaSet(key ids.ID, n int) []Member {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	all := make([]Member, 0, r.members.Len())
+	r.members.Ascend(func(_ ids.ID, m Member) bool {
+		all = append(all, m)
+		return true
+	})
+	sort.Slice(all, func(i, j int) bool {
+		return ids.Closer(key, all[i].ID, all[j].ID)
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// String renders a short diagnostic form.
+func (r *Router) String() string {
+	return fmt.Sprintf("router(%s @ %s, %d members)", r.self.ID, r.self.Addr, r.Len())
+}

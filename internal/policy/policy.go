@@ -1,0 +1,325 @@
+// Package policy implements the "guided active management" rules of the
+// paper: store policies — "a set of rules which 'guide' the routing of
+// the store request" (§III-B), e.g. placing surveillance images on the
+// home desktop vs the remote cloud by size, or keeping private data home
+// while shareable data goes remote (§V-B) — and processing-target
+// decision policies, the 'policy' parameter of chimeraGetDecision()
+// "where requests are routed to target nodes depending on overall service
+// performance, vs. achieving balanced resource utilization or improved
+// battery lives for portable devices" (§III-A).
+//
+// In the paper, "these policies are represented as a set of statically
+// encoded rules"; here each rule set is a value implementing a small
+// interface, so richer policies can be formulated (the paper's §VII asks
+// for "a richer infrastructure for easily formulating and running diverse
+// policies").
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"cloud4home/internal/objstore"
+)
+
+// StoreTarget says where a store operation should place an object.
+type StoreTarget int
+
+// Placement targets.
+const (
+	TargetLocal StoreTarget = iota + 1
+	TargetPeer
+	TargetCloud
+)
+
+// String renders the target name.
+func (t StoreTarget) String() string {
+	switch t {
+	case TargetLocal:
+		return "local"
+	case TargetPeer:
+		return "peer"
+	case TargetCloud:
+		return "cloud"
+	default:
+		return fmt.Sprintf("StoreTarget(%d)", int(t))
+	}
+}
+
+// StoreContext is what a store policy can see when deciding.
+type StoreContext struct {
+	// Object being stored.
+	Object objstore.Object
+	// LocalMandatoryFree is the free space in this node's mandatory bin.
+	LocalMandatoryFree int64
+	// Peers lists other home nodes by address with their voluntary free
+	// space, most recently monitored.
+	Peers []PeerSpace
+	// CloudAvailable reports whether a public-cloud interface module is
+	// reachable.
+	CloudAvailable bool
+}
+
+// PeerSpace is one peer's contribution to the voluntary pool.
+type PeerSpace struct {
+	Addr          string
+	VoluntaryFree int64
+}
+
+// StoreDecision is a policy's verdict.
+type StoreDecision struct {
+	Target StoreTarget
+	// PeerAddr is set when Target == TargetPeer.
+	PeerAddr string
+}
+
+// ErrNoPlacement is returned when no target can hold the object.
+var ErrNoPlacement = errors.New("policy: no feasible placement for object")
+
+// StorePolicy decides where store requests go.
+type StorePolicy interface {
+	Name() string
+	Decide(ctx StoreContext) (StoreDecision, error)
+}
+
+// fitPeer returns the peer with the most voluntary space that fits size.
+func fitPeer(peers []PeerSpace, size int64) (string, bool) {
+	best, bestFree := "", int64(-1)
+	for _, p := range peers {
+		if p.VoluntaryFree >= size && p.VoluntaryFree > bestFree {
+			best, bestFree = p.Addr, p.VoluntaryFree
+		}
+	}
+	return best, best != ""
+}
+
+// DefaultLocal is the paper's default rule: "the object is stored in the
+// node's mandatory bin. In cases where the mandatory bin is full ... the
+// data is stored elsewhere, either in the voluntary resources available
+// on other nodes in the home environment, or in a remote cloud."
+type DefaultLocal struct{}
+
+var _ StorePolicy = DefaultLocal{}
+
+// Name implements StorePolicy.
+func (DefaultLocal) Name() string { return "default-local" }
+
+// Decide implements StorePolicy.
+func (DefaultLocal) Decide(ctx StoreContext) (StoreDecision, error) {
+	if ctx.LocalMandatoryFree >= ctx.Object.Size {
+		return StoreDecision{Target: TargetLocal}, nil
+	}
+	if addr, ok := fitPeer(ctx.Peers, ctx.Object.Size); ok {
+		return StoreDecision{Target: TargetPeer, PeerAddr: addr}, nil
+	}
+	if ctx.CloudAvailable {
+		return StoreDecision{Target: TargetCloud}, nil
+	}
+	return StoreDecision{}, fmt.Errorf("%w: %q (%d bytes)", ErrNoPlacement, ctx.Object.Name, ctx.Object.Size)
+}
+
+// SizeThreshold sends objects at or above RemoteBytes to the remote
+// cloud — the surveillance example's "objects (i.e., images) are stored
+// on a desktop in the home cloud vs. in the remote cloud based on their
+// size".
+type SizeThreshold struct {
+	// RemoteBytes is the smallest size placed remotely.
+	RemoteBytes int64
+	// Fallback handles objects below the threshold (DefaultLocal if nil).
+	Fallback StorePolicy
+}
+
+var _ StorePolicy = SizeThreshold{}
+
+// Name implements StorePolicy.
+func (p SizeThreshold) Name() string { return "size-threshold" }
+
+// Decide implements StorePolicy.
+func (p SizeThreshold) Decide(ctx StoreContext) (StoreDecision, error) {
+	if ctx.Object.Size >= p.RemoteBytes && ctx.CloudAvailable {
+		return StoreDecision{Target: TargetCloud}, nil
+	}
+	fb := p.Fallback
+	if fb == nil {
+		fb = DefaultLocal{}
+	}
+	return fb.Decide(ctx)
+}
+
+// PrivacyTypes keeps private content in the home cloud and places
+// shareable content remotely — the Fig 6 experiment's "policy that stores
+// private data (in our case all .mp3 files) locally and shareable data
+// (i.e., all other types of files) remotely".
+type PrivacyTypes struct {
+	// PrivateSuffixes match object names/types that must stay home
+	// (e.g. ".mp3").
+	PrivateSuffixes []string
+}
+
+var _ StorePolicy = PrivacyTypes{}
+
+// Name implements StorePolicy.
+func (p PrivacyTypes) Name() string { return "privacy-types" }
+
+// Decide implements StorePolicy.
+func (p PrivacyTypes) Decide(ctx StoreContext) (StoreDecision, error) {
+	private := false
+	for _, suf := range p.PrivateSuffixes {
+		if strings.HasSuffix(ctx.Object.Name, suf) || strings.HasSuffix(ctx.Object.Type, suf) {
+			private = true
+			break
+		}
+	}
+	if private {
+		// Privacy dominates: never leave the home cloud, even if full.
+		if ctx.LocalMandatoryFree >= ctx.Object.Size {
+			return StoreDecision{Target: TargetLocal}, nil
+		}
+		if addr, ok := fitPeer(ctx.Peers, ctx.Object.Size); ok {
+			return StoreDecision{Target: TargetPeer, PeerAddr: addr}, nil
+		}
+		return StoreDecision{}, fmt.Errorf("%w: private object %q does not fit in the home cloud",
+			ErrNoPlacement, ctx.Object.Name)
+	}
+	if ctx.CloudAvailable {
+		return StoreDecision{Target: TargetCloud}, nil
+	}
+	return DefaultLocal{}.Decide(ctx)
+}
+
+// ProcCandidate is one possible execution site for a process operation,
+// with the decision inputs of §III-B: "the time to locate the target
+// node, the associated data movement costs for the argument ... and the
+// service processing requirements and execution time".
+type ProcCandidate struct {
+	// Addr identifies the candidate ("" is never valid).
+	Addr string
+	// IsCloud marks remote-cloud candidates.
+	IsCloud bool
+	// Locate is the (constant, in the current implementation) time to
+	// locate the target node.
+	Locate time.Duration
+	// Move is the estimated data-movement cost for the argument object.
+	Move time.Duration
+	// Exec is the estimated service execution time from the node's
+	// machine profile and the service profile.
+	Exec time.Duration
+	// CPULoad is the candidate's monitored load (runnable per core).
+	CPULoad float64
+	// Battery is the candidate's charge level (1 = mains).
+	Battery float64
+	// MeetsSLA reports whether the node satisfies the service profile's
+	// minimum resource requirements.
+	MeetsSLA bool
+}
+
+// Total is the candidate's end-to-end cost estimate.
+func (c ProcCandidate) Total() time.Duration { return c.Locate + c.Move + c.Exec }
+
+// ErrNoCandidate is returned when no candidate can execute the service.
+var ErrNoCandidate = errors.New("policy: no eligible execution candidate")
+
+// DecisionPolicy selects the execution site among candidates.
+type DecisionPolicy interface {
+	Name() string
+	// Choose returns the index of the selected candidate.
+	Choose(cands []ProcCandidate) (int, error)
+}
+
+// Performance minimises total completion time (the default in §V).
+type Performance struct{}
+
+var _ DecisionPolicy = Performance{}
+
+// Name implements DecisionPolicy.
+func (Performance) Name() string { return "performance" }
+
+// Choose implements DecisionPolicy.
+func (Performance) Choose(cands []ProcCandidate) (int, error) {
+	best := -1
+	for i, c := range cands {
+		if !c.MeetsSLA {
+			continue
+		}
+		if best == -1 || c.Total() < cands[best].Total() {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, ErrNoCandidate
+	}
+	return best, nil
+}
+
+// Balanced spreads load: it picks the least-loaded eligible node, with
+// total time as the tie breaker.
+type Balanced struct{}
+
+var _ DecisionPolicy = Balanced{}
+
+// Name implements DecisionPolicy.
+func (Balanced) Name() string { return "balanced" }
+
+// Choose implements DecisionPolicy.
+func (Balanced) Choose(cands []ProcCandidate) (int, error) {
+	best := -1
+	for i, c := range cands {
+		if !c.MeetsSLA {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := cands[best]
+		if c.CPULoad < b.CPULoad || (c.CPULoad == b.CPULoad && c.Total() < b.Total()) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, ErrNoCandidate
+	}
+	return best, nil
+}
+
+// BatterySaver avoids draining portable devices: candidates below
+// MinBattery are excluded (cloud and mains-powered nodes always pass),
+// then the fastest remaining candidate wins.
+type BatterySaver struct {
+	// MinBattery is the exclusion threshold in [0,1] (default 0.3).
+	MinBattery float64
+}
+
+var _ DecisionPolicy = BatterySaver{}
+
+// Name implements DecisionPolicy.
+func (BatterySaver) Name() string { return "battery-saver" }
+
+// Choose implements DecisionPolicy.
+func (p BatterySaver) Choose(cands []ProcCandidate) (int, error) {
+	min := p.MinBattery
+	if min == 0 {
+		min = 0.3
+	}
+	eligible := make([]ProcCandidate, 0, len(cands))
+	idx := make([]int, 0, len(cands))
+	for i, c := range cands {
+		if !c.MeetsSLA {
+			continue
+		}
+		if !c.IsCloud && c.Battery < min {
+			continue
+		}
+		eligible = append(eligible, c)
+		idx = append(idx, i)
+	}
+	j, err := (Performance{}).Choose(eligible)
+	if err != nil {
+		// Nothing passes the battery bar: fall back to pure performance
+		// rather than failing the request.
+		return (Performance{}).Choose(cands)
+	}
+	return idx[j], nil
+}

@@ -1,0 +1,54 @@
+package rbtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"cloud4home/internal/ids"
+)
+
+func benchTree(n int) (*Tree[int], []ids.ID) {
+	tr := New[int]()
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]ids.ID, n)
+	for i := range keys {
+		keys[i] = ids.ID(rng.Uint64() & uint64(ids.Max()))
+		tr.Insert(keys[i], i)
+	}
+	return tr, keys
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New[int]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(ids.ID(rng.Uint64()&uint64(ids.Max())), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr, keys := benchTree(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkSuccessor(b *testing.B) {
+	tr, keys := benchTree(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Successor(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkInsertDeleteCycle(b *testing.B) {
+	tr, keys := benchTree(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		tr.Delete(k)
+		tr.Insert(k, i)
+	}
+}

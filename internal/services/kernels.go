@@ -1,0 +1,122 @@
+package services
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The kernels below are the actual computations the services run when a
+// payload is materialised. They stand in for OpenCV and x264 with small,
+// deterministic algorithms of the same character: face detection scans
+// windows for a local-variance signature, recognition matches a probe's
+// intensity histogram against a training set, and conversion downsamples
+// and delta-encodes the stream. The simulation's *timing* comes from the
+// Spec cost model; the kernels keep the data path honest (corruption or
+// misrouted objects change answers and fail tests).
+
+// ErrEmptyInput is returned when a kernel is given no data.
+var ErrEmptyInput = errors.New("services: empty input")
+
+// detectWindow is the sliding-window size used by DetectFaces.
+const detectWindow = 64
+
+// DetectFaces scans the payload with a sliding window and reports the
+// offsets whose local byte variance falls in the "face-like" band. The
+// result is deterministic in the input bytes.
+func DetectFaces(data []byte) ([]int, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyInput
+	}
+	var hits []int
+	for off := 0; off+detectWindow <= len(data); off += detectWindow {
+		w := data[off : off+detectWindow]
+		var sum, sumSq float64
+		for _, b := range w {
+			v := float64(b)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / detectWindow
+		variance := sumSq/detectWindow - mean*mean
+		// Mid-band variance: neither flat background nor pure noise.
+		if variance >= 1000 && variance <= 4200 {
+			hits = append(hits, off)
+		}
+	}
+	return hits, nil
+}
+
+// Histogram returns the 256-bin byte histogram of data.
+func Histogram(data []byte) [256]int {
+	var h [256]int
+	for _, b := range data {
+		h[b]++
+	}
+	return h
+}
+
+// RecognizeFace matches the probe against the training set by L1
+// histogram distance and returns the index of the best match — "output
+// being ID of the best matched image" (§IV).
+func RecognizeFace(probe []byte, training [][]byte) (int, error) {
+	if len(probe) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if len(training) == 0 {
+		return 0, errors.New("services: empty training set")
+	}
+	ph := Histogram(probe)
+	// Normalise by length so images of different sizes compare fairly.
+	best, bestDist := -1, 0.0
+	for i, img := range training {
+		if len(img) == 0 {
+			continue
+		}
+		th := Histogram(img)
+		var dist float64
+		for b := 0; b < 256; b++ {
+			d := float64(ph[b])/float64(len(probe)) - float64(th[b])/float64(len(img))
+			if d < 0 {
+				d = -d
+			}
+			dist += d
+		}
+		if best == -1 || dist < bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	if best == -1 {
+		return 0, errors.New("services: training set had no usable images")
+	}
+	return best, nil
+}
+
+// ConvertVideo downgrades an ".avi" stream to a smaller ".mp4"-style
+// stream: it downsamples by 2 and delta-encodes, prefixing the original
+// length so the conversion is checkable.
+func ConvertVideo(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyInput
+	}
+	out := make([]byte, 0, len(data)/2+8)
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(data)))
+	out = append(out, hdr[:]...)
+	prev := byte(0)
+	for i := 0; i < len(data); i += 2 {
+		cur := data[i]
+		out = append(out, cur-prev)
+		prev = cur
+	}
+	return out, nil
+}
+
+// ConvertedSourceLen reports the original stream length recorded in a
+// converted payload, for integrity checks.
+func ConvertedSourceLen(converted []byte) (int64, error) {
+	if len(converted) < 8 {
+		return 0, fmt.Errorf("services: converted payload too short (%d bytes)", len(converted))
+	}
+	return int64(binary.BigEndian.Uint64(converted[:8])), nil
+}

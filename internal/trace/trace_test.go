@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDefaultMatchesPaperParameters(t *testing.T) {
+	cfg := Default(1)
+	if cfg.Clients != 6 || cfg.Files != 1300 {
+		t.Fatalf("default = %d clients / %d files, want 6 / 1300", cfg.Clients, cfg.Files)
+	}
+	if cfg.StoreFraction != 0.6 {
+		t.Fatalf("store fraction = %v, want 0.6", cfg.StoreFraction)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Default(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Default(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Accesses) != len(b.Accesses) {
+		t.Fatal("same seed, different access counts")
+	}
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			t.Fatalf("access %d differs between identical seeds", i)
+		}
+	}
+	c, err := Generate(Default(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Accesses {
+		if a.Accesses[i] != c.Accesses[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestMixNearConfigured(t *testing.T) {
+	tr, err := Generate(Default(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := tr.Mix()
+	// First references are forced stores, so the realised fraction sits a
+	// little above 0.6.
+	if mix < 0.55 || mix > 0.85 {
+		t.Fatalf("store mix = %v, want ≈0.6–0.8", mix)
+	}
+}
+
+func TestFirstAccessPerFileIsStore(t *testing.T) {
+	tr, err := Generate(Default(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, a := range tr.Accesses {
+		if !seen[a.File] {
+			if a.Kind != OpStore {
+				t.Fatalf("first access to file %d is a fetch", a.File)
+			}
+			seen[a.File] = true
+		}
+	}
+}
+
+func TestPerClientTimesMonotone(t *testing.T) {
+	tr, err := Generate(Default(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := make(map[int]time.Duration)
+	for i, a := range tr.Accesses {
+		if a.At < last[a.Client] {
+			t.Fatalf("access %d: client %d time went backwards", i, a.Client)
+		}
+		last[a.Client] = a.At
+	}
+}
+
+func TestSizeBandOverride(t *testing.T) {
+	cfg := Default(11)
+	cfg.MinSize = 10 << 20
+	cfg.MaxSize = 25 << 20
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tr.Files {
+		if f.Size < 10<<20 || f.Size > 25<<20 {
+			t.Fatalf("file size %d outside the 10–25 MB band", f.Size)
+		}
+	}
+}
+
+func TestClassRestriction(t *testing.T) {
+	cfg := Default(13)
+	cfg.Classes = []SizeClass{SuperLarge}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tr.Files {
+		if f.Class() != SuperLarge {
+			t.Fatalf("file of class %v leaked into a super-large-only trace", f.Class())
+		}
+	}
+}
+
+func TestPrivateFraction(t *testing.T) {
+	cfg := Default(17)
+	cfg.PrivateFraction = 0.5
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private := 0
+	for _, f := range tr.Files {
+		if f.Type == "mp3" {
+			private++
+		}
+	}
+	got := float64(private) / float64(len(tr.Files))
+	if math.Abs(got-0.5) > 0.08 {
+		t.Fatalf("private fraction = %v, want ≈0.5", got)
+	}
+}
+
+func TestClassBoundsAndClassOfAgree(t *testing.T) {
+	for _, c := range []SizeClass{Small, Medium, Large, SuperLarge} {
+		lo, hi := c.Bounds()
+		if lo <= 0 || hi <= lo {
+			t.Fatalf("%v bounds (%d, %d) malformed", c, lo, hi)
+		}
+		if got := ClassOf(lo); got != c {
+			t.Fatalf("ClassOf(%d) = %v, want %v", lo, got, c)
+		}
+	}
+	if ClassOf(5<<20) != Small || ClassOf(15<<20) != Medium ||
+		ClassOf(30<<20) != Large || ClassOf(80<<20) != SuperLarge {
+		t.Fatal("bucket boundaries wrong")
+	}
+}
+
+func TestByClassPartitions(t *testing.T) {
+	tr, err := Generate(Default(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := tr.ByClass()
+	total := 0
+	for c, idxs := range parts {
+		total += len(idxs)
+		for _, i := range idxs {
+			if tr.Files[i].Class() != c {
+				t.Fatalf("file %d in wrong partition", i)
+			}
+		}
+	}
+	if total != len(tr.Files) {
+		t.Fatalf("partitions cover %d of %d files", total, len(tr.Files))
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Clients: 0, Files: 1},
+		{Clients: 1, Files: 0},
+		{Clients: 1, Files: 1, Accesses: -1},
+		{Clients: 1, Files: 1, StoreFraction: 1.5},
+		{Clients: 1, Files: 1, PrivateFraction: -0.1},
+		{Clients: 1, Files: 1, MinSize: 100},              // MaxSize missing
+		{Clients: 1, Files: 1, MinSize: 200, MaxSize: 10}, // inverted
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTotalBytesPositive(t *testing.T) {
+	tr, err := Generate(Default(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.TotalBytes() <= 0 {
+		t.Fatal("catalogue has no bytes")
+	}
+}
+
+func TestZipfPopularitySkews(t *testing.T) {
+	cfg := Default(29)
+	cfg.Accesses = 4000
+	cfg.ZipfS = 2.0
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, a := range tr.Accesses {
+		counts[a.File]++
+	}
+	// Under Zipf(2) the single most popular file dominates; under uniform
+	// it would get ≈ accesses/files ≈ 3.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Fatalf("most popular file accessed %d times; Zipf skew missing", max)
+	}
+	// Invalid skew parameter is rejected.
+	cfg.ZipfS = 0.5
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("ZipfS in (0,1] accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Package vclock provides the clock abstraction the whole repository is
+// written against. Production binaries use the real clock; the experiment
+// harness uses a deterministic discrete-event virtual clock so that the
+// paper's multi-minute experiments (e.g. the 700 MB trace replay behind
+// Fig 6) reproduce in milliseconds of wall time, with zero flakiness.
+//
+// The virtual clock is a cooperative discrete-event scheduler: goroutines
+// participating in an experiment register as workers (Go or Add/Done);
+// when every registered worker is blocked in Sleep, virtual time jumps to
+// the earliest pending deadline and the corresponding sleepers wake.
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks the calling worker for d. A non-positive d returns
+	// immediately.
+	Sleep(d time.Duration)
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Virtual is a deterministic discrete-event clock.
+type Virtual struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	now     time.Time
+	active  int // registered workers currently runnable
+	sleeper sleeperHeap
+	seq     uint64 // tie-break so equal deadlines wake FIFO
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock starting at epoch. The experiment
+// harness passes a fixed epoch so every run is bit-identical.
+func NewVirtual(epoch time.Time) *Virtual {
+	v := &Virtual{now: epoch}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Add registers n runnable workers. Every goroutine that will call Sleep
+// must be registered, otherwise time can advance while it still has work
+// to do. Pair with Done.
+func (v *Virtual) Add(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.active += n
+}
+
+// Done unregisters a worker. When the last runnable worker finishes or
+// sleeps, time advances.
+func (v *Virtual) Done() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.active--
+	if v.active == 0 {
+		v.advanceLocked()
+	}
+}
+
+// Go runs fn as a registered worker in a new goroutine.
+func (v *Virtual) Go(fn func()) {
+	v.Add(1)
+	go func() {
+		defer v.Done()
+		fn()
+	}()
+}
+
+// Run registers the calling goroutine, runs fn, and unregisters. Use it
+// for the experiment's main driver.
+func (v *Virtual) Run(fn func()) {
+	v.Add(1)
+	defer v.Done()
+	fn()
+}
+
+// Block runs fn with the calling worker deregistered. Use it whenever a
+// registered worker must block on something other than Sleep (a
+// sync.WaitGroup, channel receive, ...): while fn blocks, virtual time is
+// free to advance so the goroutines it waits for can make progress.
+// Blocking on such primitives while registered deadlocks the clock.
+func (v *Virtual) Block(fn func()) {
+	v.Done()
+	defer v.Add(1)
+	fn()
+}
+
+// Sleep implements Clock. The caller must be a registered worker.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	deadline := v.now.Add(d)
+	s := &sleeper{deadline: deadline, seq: v.seq}
+	v.seq++
+	heap.Push(&v.sleeper, s)
+	v.active--
+	if v.active == 0 {
+		v.advanceLocked()
+	}
+	for !s.woken {
+		v.cond.Wait()
+	}
+	v.mu.Unlock()
+}
+
+// advanceLocked jumps time to the earliest deadline and wakes every
+// sleeper due at that instant. Caller holds v.mu and v.active == 0.
+func (v *Virtual) advanceLocked() {
+	if v.sleeper.Len() == 0 {
+		return
+	}
+	next := v.sleeper[0].deadline
+	if next.After(v.now) {
+		v.now = next
+	}
+	for v.sleeper.Len() > 0 && !v.sleeper[0].deadline.After(v.now) {
+		s := heap.Pop(&v.sleeper).(*sleeper)
+		s.woken = true
+		v.active++
+	}
+	v.cond.Broadcast()
+}
+
+type sleeper struct {
+	deadline time.Time
+	seq      uint64
+	woken    bool
+	index    int
+}
+
+type sleeperHeap []*sleeper
+
+func (h sleeperHeap) Len() int { return len(h) }
+func (h sleeperHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h sleeperHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *sleeperHeap) Push(x any) {
+	s := x.(*sleeper)
+	s.index = len(*h)
+	*h = append(*h, s)
+}
+func (h *sleeperHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}

@@ -1,0 +1,146 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualSleepAdvances(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Run(func() {
+		v.Sleep(5 * time.Second)
+	})
+	if got := v.Now(); !got.Equal(epoch.Add(5 * time.Second)) {
+		t.Fatalf("Now = %v, want epoch+5s", got)
+	}
+}
+
+func TestVirtualZeroAndNegativeSleep(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Run(func() {
+		v.Sleep(0)
+		v.Sleep(-time.Second)
+	})
+	if !v.Now().Equal(epoch) {
+		t.Fatal("non-positive Sleep must not advance time")
+	}
+}
+
+func TestVirtualConcurrentWorkersInterleave(t *testing.T) {
+	v := NewVirtual(epoch)
+	var mu sync.Mutex
+	var order []string
+	record := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	v.Run(func() {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		v.Go(func() {
+			defer wg.Done()
+			v.Sleep(1 * time.Second)
+			record("a1")
+			v.Sleep(3 * time.Second) // wakes at t=4
+			record("a2")
+		})
+		v.Go(func() {
+			defer wg.Done()
+			v.Sleep(2 * time.Second)
+			record("b1")
+			v.Sleep(5 * time.Second) // wakes at t=7
+			record("b2")
+		})
+		v.Sleep(10 * time.Second)
+		v.Block(wg.Wait)
+	})
+	want := []string{"a1", "b1", "a2", "b2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if got := v.Now(); !got.Equal(epoch.Add(10 * time.Second)) {
+		t.Fatalf("final Now = %v, want epoch+10s", got)
+	}
+}
+
+func TestVirtualEqualDeadlinesAllWake(t *testing.T) {
+	v := NewVirtual(epoch)
+	var n atomic.Int32
+	v.Run(func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				v.Sleep(time.Second)
+				n.Add(1)
+			})
+		}
+		v.Sleep(2 * time.Second)
+		v.Block(wg.Wait)
+	})
+	if n.Load() != 8 {
+		t.Fatalf("woke %d of 8 sleepers", n.Load())
+	}
+}
+
+func TestVirtualDeterministic(t *testing.T) {
+	run := func() time.Time {
+		v := NewVirtual(epoch)
+		v.Run(func() {
+			var wg sync.WaitGroup
+			for i := 1; i <= 5; i++ {
+				wg.Add(1)
+				d := time.Duration(i) * 100 * time.Millisecond
+				v.Go(func() {
+					defer wg.Done()
+					for j := 0; j < 10; j++ {
+						v.Sleep(d)
+					}
+				})
+			}
+			v.Block(wg.Wait)
+		})
+		return v.Now()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); !got.Equal(first) {
+			t.Fatalf("run %d finished at %v, first run at %v", i, got, first)
+		}
+	}
+}
+
+func TestVirtualTimeSkipsIdleGaps(t *testing.T) {
+	v := NewVirtual(epoch)
+	start := time.Now()
+	v.Run(func() {
+		v.Sleep(24 * time.Hour) // a day of virtual time...
+	})
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("virtual day took %v of wall time", elapsed)
+	}
+	if !v.Now().Equal(epoch.Add(24 * time.Hour)) {
+		t.Fatal("virtual day did not elapse")
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	var c Real
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	if !c.Now().After(a) {
+		t.Fatal("real clock did not advance across Sleep")
+	}
+	c.Sleep(-time.Hour) // must not block
+}
