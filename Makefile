@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples clean
+.PHONY: all build vet lint test race check bench repro examples clean
 
-all: build vet test
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific invariants: determinism (wallclock, globalrand),
+# lock discipline, the DESIGN.md import DAG, and goroutine hygiene.
+# Findings are fatal; see DESIGN.md "Static analysis & invariants".
+lint:
+	$(GO) run ./cmd/c4h-vet ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Everything CI runs, in CI's order.
+check: build vet lint test race
 
 # One iteration of every benchmark, with the paper-reproduction metrics.
 bench:

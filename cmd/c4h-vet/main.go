@@ -1,0 +1,114 @@
+// Command c4h-vet runs the Cloud4Home project-specific static analyzers
+// (internal/analysis) over the whole module and exits non-zero on any
+// finding. It is wired into `make lint` / `make check` and CI.
+//
+// Usage:
+//
+//	c4h-vet [flags] [./... | path prefixes]
+//
+// With no arguments (or "./...") the entire module is checked. Path
+// arguments restrict reporting to files under those module-relative
+// prefixes. An allowlist file (default .c4h-vet-allow at the module
+// root, if present) suppresses accepted findings; see
+// internal/analysis.Allowlist for the format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cloud4home/internal/analysis"
+)
+
+func main() {
+	allowFlag := flag.String("allow", "", "allowlist file (default: .c4h-vet-allow at the module root, if present)")
+	list := flag.Bool("list", false, "list rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: c4h-vet [flags] [./... | path prefixes]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	rules := analysis.DefaultRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-16s %s\n", r.ID(), r.Doc())
+		}
+		return
+	}
+
+	if err := run(rules, *allowFlag, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "c4h-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(rules []analysis.Rule, allowFile string, args []string) error {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		return err
+	}
+
+	var allow *analysis.Allowlist
+	switch {
+	case allowFile != "":
+		allow, err = analysis.ParseAllowlist(allowFile)
+		if err != nil {
+			return err
+		}
+	default:
+		def := filepath.Join(root, ".c4h-vet-allow")
+		if _, statErr := os.Stat(def); statErr == nil {
+			allow, err = analysis.ParseAllowlist(def)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	diags := allow.Filter(analysis.Run(m, rules))
+	diags = filterByPaths(diags, args)
+
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if n := len(diags); n > 0 {
+		fmt.Fprintf(os.Stderr, "c4h-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+	return nil
+}
+
+// filterByPaths restricts diagnostics to the given module-relative
+// prefixes. "./..." (or no arguments) means the whole module.
+func filterByPaths(diags []analysis.Diagnostic, args []string) []analysis.Diagnostic {
+	var prefixes []string
+	for _, a := range args {
+		if a == "./..." || a == "..." || a == "." {
+			return diags
+		}
+		a = strings.TrimSuffix(a, "/...")
+		a = strings.TrimPrefix(a, "./")
+		prefixes = append(prefixes, strings.Trim(a, "/"))
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		for _, p := range prefixes {
+			if strings.HasPrefix(d.Pos.Filename, p) {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

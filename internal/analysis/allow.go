@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"strings"
+)
+
+// allowEntry suppresses one rule for files matching a path pattern.
+type allowEntry struct {
+	ruleID  string
+	pattern string // module-relative path prefix or path.Match glob
+}
+
+// Allowlist suppresses known, accepted findings per rule. The file
+// format is one entry per line:
+//
+//	<rule-id> <path-prefix-or-glob>   # optional comment
+//
+// e.g.
+//
+//	wallclock internal/netsim/netsim.go   # calibration TODO(#42)
+//	lockdiscipline internal/kv/
+//
+// Blank lines and lines starting with '#' are ignored. Patterns are
+// matched against the diagnostic's module-relative file path: an entry
+// matches if it is a prefix of the path or a path.Match glob for it.
+type Allowlist struct {
+	entries []allowEntry
+}
+
+// ParseAllowlist reads an allowlist file. A missing file is an error;
+// callers decide whether the file is optional.
+func ParseAllowlist(file string) (*Allowlist, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	al := &Allowlist{}
+	for i, line := range strings.Split(string(data), "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"<rule-id> <path>\", got %q", file, i+1, line)
+		}
+		al.entries = append(al.entries, allowEntry{ruleID: fields[0], pattern: fields[1]})
+	}
+	return al, nil
+}
+
+// Allows reports whether the diagnostic is suppressed. The diagnostic's
+// filename must be module-relative (as produced by LoadModule).
+func (al *Allowlist) Allows(d Diagnostic) bool {
+	if al == nil {
+		return false
+	}
+	file := d.Pos.Filename
+	for _, e := range al.entries {
+		if e.ruleID != d.RuleID && e.ruleID != "*" {
+			continue
+		}
+		if strings.HasPrefix(file, e.pattern) {
+			return true
+		}
+		if ok, _ := path.Match(e.pattern, file); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter drops suppressed diagnostics.
+func (al *Allowlist) Filter(ds []Diagnostic) []Diagnostic {
+	if al == nil || len(al.entries) == 0 {
+		return ds
+	}
+	out := ds[:0]
+	for _, d := range ds {
+		if !al.Allows(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

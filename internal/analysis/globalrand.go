@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// globalRandFuncs are the math/rand package-level functions that draw
+// from the shared global source. Constructors (New, NewSource, NewZipf)
+// are the sanctioned way to build a seeded, injected *rand.Rand and are
+// not flagged.
+var globalRandFuncs = map[string]bool{
+	"Int":         true,
+	"Intn":        true,
+	"Int31":       true,
+	"Int31n":      true,
+	"Int63":       true,
+	"Int63n":      true,
+	"Uint32":      true,
+	"Uint64":      true,
+	"Float32":     true,
+	"Float64":     true,
+	"ExpFloat64":  true,
+	"NormFloat64": true,
+	"Perm":        true,
+	"Shuffle":     true,
+	"Read":        true,
+	"Seed":        true,
+}
+
+// GlobalRand flags use of the global math/rand source in non-test
+// simulation code. The global source is seeded once per process and
+// shared across goroutines, so any draw from it makes repeated
+// `make repro` runs diverge. Simulation code must thread a seeded
+// *rand.Rand through its constructors instead (as netsim.New and
+// trace.Generate do).
+type GlobalRand struct{}
+
+// ID implements Rule.
+func (GlobalRand) ID() string { return "globalrand" }
+
+// Doc implements Rule.
+func (GlobalRand) Doc() string {
+	return "simulation packages must thread a seeded *rand.Rand, never the global math/rand source"
+}
+
+// Check implements Rule.
+func (GlobalRand) Check(m *Module) []Diagnostic {
+	var ds []Diagnostic
+	for _, pkg := range m.Packages {
+		if !simPackages[pkg.Rel] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			randName, ok := importName(f.AST, "math/rand")
+			if !ok {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := pkgCall(call, randName); globalRandFuncs[fn] {
+					ds = append(ds, Diagnostic{
+						RuleID:     "globalrand",
+						Pos:        position(m, call.Pos()),
+						Message:    fmt.Sprintf("global math/rand source used (rand.%s) in simulation package %s", fn, pkg.Path),
+						Suggestion: "thread a seeded *rand.Rand through the constructor (rand.New(rand.NewSource(seed)))",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return ds
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestLayeringDAGMatchesModule keeps layerDAG honest in both
+// directions: every internal import that exists must be allowed, and
+// every allowance must correspond to a real import. Adding or removing
+// a cross-package dependency therefore forces a deliberate edit of the
+// DAG (and the DESIGN.md section describing it).
+func TestLayeringDAGMatchesModule(t *testing.T) {
+	m := loadSelf(t)
+
+	got := map[string][]string{}
+	for _, pkg := range m.Packages {
+		if strings.HasPrefix(pkg.Rel, "cmd/") || strings.HasPrefix(pkg.Rel, "examples/") {
+			continue // wildcard layers, not table entries
+		}
+		deps := map[string]bool{}
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, p := range imports(f.AST) {
+				if rel, internal := relPkg(m.Path, p); internal {
+					deps[rel] = true
+				}
+			}
+		}
+		list := make([]string, 0, len(deps))
+		for d := range deps {
+			list = append(list, d)
+		}
+		sort.Strings(list)
+		got[pkg.Rel] = list
+	}
+
+	want := LayerDAG()
+	for k, v := range want {
+		sort.Strings(v)
+		want[k] = v
+	}
+
+	for rel, deps := range got {
+		wantDeps, ok := want[rel]
+		if !ok {
+			t.Errorf("package %q exists in the module but not in layerDAG", rel)
+			continue
+		}
+		if wantDeps == nil {
+			wantDeps = []string{}
+		}
+		if deps == nil {
+			deps = []string{}
+		}
+		if !reflect.DeepEqual(deps, wantDeps) {
+			t.Errorf("layerDAG[%q] = %v, but actual imports are %v — update layering.go and DESIGN.md together", rel, wantDeps, deps)
+		}
+	}
+	for rel := range want {
+		if _, ok := got[rel]; !ok {
+			t.Errorf("layerDAG lists %q but no such package exists in the module", rel)
+		}
+	}
+}
+
+// TestLayeringInvariants spells out the load-bearing constraints from
+// the issue as direct assertions on the table, so a future DAG edit
+// that would break them fails with a named reason even before any code
+// exists to trip the rule.
+func TestLayeringInvariants(t *testing.T) {
+	dag := LayerDAG()
+	contains := func(deps []string, p string) bool {
+		for _, d := range deps {
+			if d == p {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, below := range []string{"internal/overlay", "internal/kv", "internal/xenchan"} {
+		if contains(dag[below], "internal/core") {
+			t.Errorf("%s must never import internal/core", below)
+		}
+	}
+	for pkg, deps := range dag {
+		if contains(deps, "internal/experiments") {
+			t.Errorf("%s imports internal/experiments; only cmd binaries may", pkg)
+		}
+	}
+	for _, leaf := range []string{"internal/ids", "internal/rbtree", "internal/vclock"} {
+		for _, d := range dag[leaf] {
+			if leaf != "internal/rbtree" || d != "internal/ids" {
+				t.Errorf("leaf package %s must not import sibling %s", leaf, d)
+			}
+		}
+	}
+	if len(dag["internal/analysis"]) != 0 {
+		t.Error("internal/analysis must stay stdlib-only")
+	}
+}

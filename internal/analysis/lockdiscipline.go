@@ -1,0 +1,483 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// LockDiscipline enforces the locking rules the concurrency-heavy
+// layers (kv, daemon, overlay, core, …) follow throughout the seed:
+//
+//   - every Lock()/RLock() is released on every path out of the
+//     function, either by a same-function `defer Unlock()` or by an
+//     explicit unlock before each return;
+//   - no channel operation (send, receive, select) and no sleep happens
+//     while a lock is held — those block the mutex for arbitrary time
+//     and are the classic recipe for cross-layer deadlock;
+//   - the same mutex is not re-locked while already held;
+//   - mutexes are never passed or received by value (a copied mutex
+//     silently stops guarding anything).
+//
+// The checker runs a branch-aware abstract walk over each function
+// body: if/switch/select arms are analysed independently and the held
+// set after a branch point is the union of the arms that fall through.
+// sync.Cond.Wait is exempt from the blocking check — it releases the
+// mutex by contract (internal/vclock relies on this).
+type LockDiscipline struct{}
+
+// ID implements Rule.
+func (LockDiscipline) ID() string { return "lockdiscipline" }
+
+// Doc implements Rule.
+func (LockDiscipline) Doc() string {
+	return "locks must be released on every path, never held across channel ops or sleeps, and never copied"
+}
+
+// Check implements Rule.
+func (LockDiscipline) Check(m *Module) []Diagnostic {
+	var ds []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			syncName, hasSync := importName(f.AST, "sync")
+			for _, decl := range f.AST.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if hasSync {
+					ds = append(ds, checkMutexByValue(m, fn, syncName)...)
+				}
+				if fn.Body != nil {
+					w := &lockWalker{m: m}
+					w.walkFunc(fn.Body)
+					ds = append(ds, w.diags...)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// checkMutexByValue flags receivers and parameters whose type is a
+// non-pointer sync.Mutex or sync.RWMutex.
+func checkMutexByValue(m *Module, fn *ast.FuncDecl, syncName string) []Diagnostic {
+	var ds []Diagnostic
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			sel, ok := field.Type.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != syncName {
+				continue
+			}
+			if sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex" {
+				ds = append(ds, Diagnostic{
+					RuleID:     "lockdiscipline",
+					Pos:        position(m, field.Type.Pos()),
+					Message:    fmt.Sprintf("sync.%s passed by value as %s of %s", sel.Sel.Name, what, fn.Name.Name),
+					Suggestion: "take a pointer; a copied mutex guards nothing",
+				})
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	if fn.Type != nil {
+		check(fn.Type.Params, "parameter")
+	}
+	return ds
+}
+
+// lockState maps a held-lock key (rendered mutex expression, suffixed
+// "/r" for read locks) to the position where it was acquired.
+type lockState map[string]token.Pos
+
+func cloneState(st lockState) lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func unionState(a, b lockState) lockState {
+	out := cloneState(a)
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// lockWalker carries the per-function analysis state.
+type lockWalker struct {
+	m     *Module
+	diags []Diagnostic
+	// deferred records mutex keys covered by a defer Unlock in the
+	// current function; they are considered released on every later
+	// path. Function-scoped: branches share it conservatively.
+	deferred map[string]bool
+}
+
+// walkFunc analyses one function (or function literal) body with a
+// fresh lock state.
+func (w *lockWalker) walkFunc(body *ast.BlockStmt) {
+	outer := w.deferred
+	w.deferred = map[string]bool{}
+	st, terminated := w.walkStmts(body.List, lockState{})
+	if !terminated {
+		for key, pos := range st {
+			if w.deferred[key] {
+				continue
+			}
+			w.report(pos, fmt.Sprintf("function ends still holding %s (locked here)", lockName(key)),
+				"release it with defer or an explicit unlock before every exit")
+		}
+	}
+	w.deferred = outer
+}
+
+func (w *lockWalker) report(pos token.Pos, msg, suggestion string) {
+	w.diags = append(w.diags, Diagnostic{
+		RuleID:     "lockdiscipline",
+		Pos:        position(w.m, pos),
+		Message:    msg,
+		Suggestion: suggestion,
+	})
+}
+
+// lockName renders a state key back to source form for diagnostics.
+func lockName(key string) string {
+	if expr, ok := cutSuffix(key, "/r"); ok {
+		return expr + " (read-locked)"
+	}
+	return key
+}
+
+func cutSuffix(s, suffix string) (string, bool) {
+	if len(s) >= len(suffix) && s[len(s)-len(suffix):] == suffix {
+		return s[:len(s)-len(suffix)], true
+	}
+	return s, false
+}
+
+// walkStmts analyses a statement list, threading the held-lock state
+// through it. It reports whether control definitely leaves the
+// enclosing function/branch (return, panic-like, break/continue).
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, st lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.checkExpr(s.X, st)
+	case *ast.SendStmt:
+		if len(st) > 0 {
+			w.report(s.Pos(), fmt.Sprintf("channel send while holding %s", heldNames(st)),
+				"release the lock before communicating")
+		}
+		w.checkExpr(s.Chan, st)
+		w.checkExpr(s.Value, st)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.checkExpr(e, st)
+		}
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.checkExpr(e, st)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.walkDefer(s, st)
+	case *ast.GoStmt:
+		// The goroutine runs with its own lock state; analyse its body
+		// independently and do not let it mutate ours.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkFunc(fl.Body)
+		}
+		for _, a := range s.Call.Args {
+			w.checkExpr(a, st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, st)
+		}
+		for key := range st {
+			if w.deferred[key] {
+				continue
+			}
+			w.report(s.Pos(), fmt.Sprintf("return while holding %s", lockName(key)),
+				"unlock on this path or acquire with defer unlock")
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this linear path; the surrounding
+		// loop analysis treats the loop body as lock-balanced.
+		return st, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		w.checkExpr(s.Cond, st)
+		thenSt, thenTerm := w.walkStmts(s.Body.List, cloneState(st))
+		elseSt, elseTerm := cloneState(st), false
+		if s.Else != nil {
+			elseSt, elseTerm = w.walkStmt(s.Else, cloneState(st))
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return unionState(thenSt, elseSt), false
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.checkExpr(s.Tag, st)
+		}
+		return w.walkCases(s.Body, st, false)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		return w.walkCases(s.Body, st, false)
+	case *ast.SelectStmt:
+		if len(st) > 0 {
+			w.report(s.Pos(), fmt.Sprintf("select while holding %s", heldNames(st)),
+				"release the lock before communicating")
+		}
+		return w.walkCases(s.Body, st, true)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.checkExpr(s.Cond, st)
+		}
+		// Loop bodies must be lock-balanced; analyse one iteration from
+		// the pre-state and discard its exit state.
+		w.walkStmts(s.Body.List, cloneState(st))
+		if s.Post != nil {
+			w.walkStmt(s.Post, cloneState(st))
+		}
+		return st, false
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, st)
+		w.walkStmts(s.Body.List, cloneState(st))
+		return st, false
+	}
+	return st, false
+}
+
+// walkCases analyses switch/select bodies: each clause independently
+// from the branch-point state, merging the clauses that fall through.
+func (w *lockWalker) walkCases(body *ast.BlockStmt, st lockState, isSelect bool) (lockState, bool) {
+	var merged lockState
+	hasDefault := false
+	anyFallthrough := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.checkExpr(e, st)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		caseSt, term := w.walkStmts(stmts, cloneState(st))
+		if !term {
+			anyFallthrough = true
+			if merged == nil {
+				merged = caseSt
+			} else {
+				merged = unionState(merged, caseSt)
+			}
+		}
+	}
+	if !hasDefault && !isSelect {
+		// No case may match: the pre-state flows through unchanged.
+		if merged == nil {
+			merged = st
+		} else {
+			merged = unionState(merged, st)
+		}
+		anyFallthrough = true
+	}
+	if !anyFallthrough {
+		return st, true
+	}
+	return merged, false
+}
+
+// walkDefer handles defer statements: deferred unlocks cover every
+// later exit; other deferred function literals are analysed as
+// independent bodies.
+func (w *lockWalker) walkDefer(s *ast.DeferStmt, st lockState) {
+	// A deferred unlock covers every later exit, but the lock stays
+	// factually held until the function returns — keep it in st so
+	// channel ops and sleeps under it are still flagged.
+	if key, isUnlock := unlockKey(s.Call); isUnlock {
+		w.deferred[key] = true
+		return
+	}
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure that unlocks covers later exits too.
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if key, isUnlock := unlockKey(call); isUnlock {
+					w.deferred[key] = true
+				}
+			}
+			return true
+		})
+		w.walkFunc(fl.Body)
+	}
+	for _, a := range s.Call.Args {
+		w.checkExpr(a, st)
+	}
+}
+
+// lockKey classifies a call as Lock/RLock and returns the state key.
+func lockKey(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return exprString(sel.X), true
+	case "RLock":
+		return exprString(sel.X) + "/r", true
+	}
+	return "", false
+}
+
+// unlockKey classifies a call as Unlock/RUnlock and returns the key.
+func unlockKey(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Unlock":
+		return exprString(sel.X), true
+	case "RUnlock":
+		return exprString(sel.X) + "/r", true
+	}
+	return "", false
+}
+
+// heldNames renders the held set for a diagnostic.
+func heldNames(st lockState) string {
+	names := make([]string, 0, len(st))
+	for k := range st {
+		names = append(names, lockName(k))
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	sortStrings(names)
+	return names[0] + " (and others)"
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// checkExpr scans an expression for lock transitions, blocking
+// operations performed while locked, and nested function literals.
+// It mutates st in place (expressions execute on the current path).
+func (w *lockWalker) checkExpr(e ast.Expr, st lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkFunc(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(st) > 0 {
+				w.report(n.Pos(), fmt.Sprintf("channel receive while holding %s", heldNames(st)),
+					"release the lock before communicating")
+			}
+		case *ast.CallExpr:
+			if key, ok := lockKey(n); ok {
+				if at, held := st[key]; held {
+					w.report(n.Pos(), fmt.Sprintf("%s locked again while already held (first locked at %s)",
+						lockName(key), position(w.m, at)),
+						"restructure so each path locks once")
+				} else {
+					st[key] = n.Pos()
+				}
+				return false
+			}
+			if key, ok := unlockKey(n); ok {
+				delete(st, key)
+				return false
+			}
+			if len(st) > 0 && isSleepCall(n) {
+				w.report(n.Pos(), fmt.Sprintf("sleep while holding %s", heldNames(st)),
+					"release the lock before sleeping")
+			}
+		}
+		return true
+	})
+}
+
+// isSleepCall matches X.Sleep(...) — time.Sleep or an injected clock's
+// Sleep. sync.Cond.Wait is deliberately not matched: it releases the
+// mutex by contract.
+func isSleepCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Sleep"
+}

@@ -1,0 +1,13 @@
+//c4hvet:pkg cloud4home/internal/trace
+package fixture
+
+import "math/rand"
+
+func bad(n int) int {
+	rand.Seed(42) // want "global math/rand source used (rand.Seed)"
+	if rand.Float64() < 0.5 { // want "rand.Float64"
+		return rand.Intn(n) // want "rand.Intn"
+	}
+	xs := rand.Perm(n) // want "rand.Perm"
+	return xs[0]
+}

@@ -1,0 +1,10 @@
+//c4hvet:pkg cloud4home/internal/daemon
+package fixture
+
+import "math/rand"
+
+// The rule scopes to simulation packages only; other layers answer to
+// go vet and review rather than this determinism rule.
+func outOfScope() int {
+	return rand.Intn(10)
+}

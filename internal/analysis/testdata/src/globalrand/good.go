@@ -1,0 +1,12 @@
+//c4hvet:pkg cloud4home/internal/trace
+package fixture
+
+import "math/rand"
+
+// good threads a seeded source: constructors are the sanctioned use of
+// math/rand, and draws go through the injected *rand.Rand.
+func good(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(n))
+	return rng.Intn(n) + int(zipf.Uint64())
+}

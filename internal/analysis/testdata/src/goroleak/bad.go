@@ -1,0 +1,35 @@
+//c4hvet:pkg cloud4home/internal/core
+package fixture
+
+import "fmt"
+
+// Fire-and-forget: nothing can join or cancel this goroutine.
+func fireAndForget() {
+	go func() { // want "neither a WaitGroup-style join nor a context/done-channel"
+		fmt.Println("leaked")
+	}()
+}
+
+// Capturing the loop variable: the dependence must be explicit (pass it
+// as an argument or rebind it before the launch).
+func capturesLoopVar(xs []int, results chan int) {
+	for _, x := range xs {
+		go func() {
+			results <- x // want "goroutine captures loop variable x"
+		}()
+	}
+}
+
+type spinner struct{}
+
+func (spinner) spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// A resolvable same-package method with no supervision signals.
+func launchMethod() {
+	var s spinner
+	go s.spin() // want "neither a WaitGroup-style join nor a context/done-channel"
+}

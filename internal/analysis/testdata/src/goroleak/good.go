@@ -1,0 +1,58 @@
+//c4hvet:pkg cloud4home/internal/core
+package fixture
+
+import "sync"
+
+// WaitGroup join plus rebinding before the launch: the seed's idiom
+// (cmd/c4h-trace, daemon.Serve).
+func joined(xs []int, results chan int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- x
+		}()
+	}
+	wg.Wait()
+}
+
+// Passing the loop variable as an argument also severs the capture.
+func passedAsArg(xs []int, results chan int) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			results <- v
+		}(x)
+	}
+	wg.Wait()
+}
+
+// A done/stop channel makes the goroutine cancellable (monitor.Start).
+func cancellable(stop chan struct{}) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-stop
+	}()
+	return done
+}
+
+// A named closure launch resolves to its body (core.Node.spawn).
+func namedClosure(stop chan struct{}) {
+	loop := func() {
+		<-stop
+	}
+	go loop()
+}
+
+// Sending the result over a channel lets the launcher observe the exit
+// (cmd/c4hd's errCh pattern).
+func resultChannel(f func() error) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- f() }()
+	return <-errCh
+}

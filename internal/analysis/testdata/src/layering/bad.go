@@ -1,0 +1,14 @@
+//c4hvet:pkg cloud4home/internal/overlay
+package fixture
+
+// overlay sits below the orchestration layer: reaching up to core (or
+// sideways to kv, which is built on top of overlay) inverts the DAG.
+import (
+	"fmt"
+
+	"cloud4home/internal/core" // want "must not import cloud4home/internal/core"
+	"cloud4home/internal/ids"
+	"cloud4home/internal/kv" // want "must not import cloud4home/internal/kv"
+)
+
+var _ = fmt.Sprint(core.Home{}, ids.ID(0), kv.Options{})

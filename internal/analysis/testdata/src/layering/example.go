@@ -1,0 +1,12 @@
+//c4hvet:pkg cloud4home/examples/demo
+package fixture
+
+// Examples demonstrate the public API surface; importing internals
+// defeats their purpose.
+import (
+	c4h "cloud4home"
+	"cloud4home/internal/core" // want "example cloud4home/examples/demo imports cloud4home/internal/core"
+)
+
+var _ = c4h.Options{}
+var _ = core.Home{}

@@ -1,0 +1,11 @@
+//c4hvet:pkg cloud4home/internal/overlay
+package fixture
+
+import (
+	"fmt"
+
+	"cloud4home/internal/ids"
+	"cloud4home/internal/rbtree"
+)
+
+var _ = fmt.Sprint(ids.ID(0), rbtree.Tree{})

@@ -1,0 +1,2 @@
+//c4hvet:pkg cloud4home/internal/newpkg
+package fixture // want "not in the layering DAG"

@@ -1,0 +1,74 @@
+package fixture
+
+import (
+	"sync"
+	"time"
+)
+
+type clock interface{ Sleep(time.Duration) }
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+func (g *guarded) leakOnReturn(x int) int {
+	g.mu.Lock()
+	if x > 0 {
+		return x // want "return while holding g.mu"
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+func (g *guarded) sendUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- 1 // want "channel send while holding g.mu"
+}
+
+func (g *guarded) receiveUnderReadLock() int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return <-g.ch // want "channel receive while holding g.rw (read-locked)"
+}
+
+func (g *guarded) selectUnderLock() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "select while holding g.mu"
+	default:
+	}
+}
+
+func (g *guarded) doubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want "g.mu locked again while already held"
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func (g *guarded) forgotten() {
+	g.mu.Lock() // want "function ends still holding g.mu"
+	g.ch = nil
+}
+
+func (g *guarded) sleepUnderLock(c clock) {
+	g.mu.Lock()
+	c.Sleep(time.Second) // want "sleep while holding g.mu"
+	g.mu.Unlock()
+}
+
+func byValue(mu sync.Mutex) {} // want "sync.Mutex passed by value as parameter"
+
+// branchForgets unlocks on the early-return path only; the
+// end-of-function report anchors at the Lock that was never released.
+func (g *guarded) branchForgets(x int) {
+	g.mu.Lock() // want "function ends still holding g.mu"
+	if x > 0 {
+		g.mu.Unlock()
+		return
+	}
+	g.ch = nil
+}

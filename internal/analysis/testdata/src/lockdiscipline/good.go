@@ -1,0 +1,91 @@
+package fixture
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	m  map[int]int
+}
+
+// The canonical pattern: defer covers every exit.
+func (s *store) deferred(k int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[k]
+}
+
+// Explicit unlock on each path, seed-style (kv.Put, mesh.Join).
+func (s *store) explicitBranches(k int) (int, bool) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// Switch with a terminating case that unlocks before returning.
+func (s *store) switchPaths(k, mode int) int {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+		return 0
+	case 1:
+		s.m[k]++
+	default:
+		s.m[k] = 0
+	}
+	v := s.m[k]
+	s.mu.Unlock()
+	return v
+}
+
+// Communicate after releasing, never while holding.
+func (s *store) unlockThenSend(k int) {
+	s.mu.Lock()
+	v := s.m[k]
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// Read locks pair with read unlocks.
+func (s *store) readPath(k int) int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.m[k]
+}
+
+// A deferred closure releasing the lock also covers every exit.
+func (s *store) deferClosure(k int) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.m[k]
+}
+
+// Lock/unlock balanced inside each loop iteration.
+func (s *store) perIteration(keys []int) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock()
+		total += s.m[k]
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// A goroutine body is its own lock scope.
+func (s *store) spawnWorker(done chan struct{}) {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.m[0]++
+		close(done)
+	}()
+}

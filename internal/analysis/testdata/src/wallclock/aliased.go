@@ -1,0 +1,10 @@
+//c4hvet:pkg cloud4home/internal/cloudsim
+package fixture
+
+import wall "time"
+
+// The rule resolves import aliases: renaming the package does not hide
+// the wall clock.
+func aliased() wall.Time {
+	return wall.Now() // want "wall-clock call time.Now"
+}

@@ -1,0 +1,14 @@
+//c4hvet:pkg cloud4home/internal/netsim
+package fixture
+
+import "time"
+
+func bad() time.Duration {
+	t0 := time.Now()             // want "wall-clock call time.Now"
+	time.Sleep(time.Millisecond) // want "wall-clock call time.Sleep"
+	d := time.Since(t0)          // want "wall-clock call time.Since"
+	<-time.After(d)              // want "wall-clock call time.After"
+	tick := time.NewTicker(d)    // want "wall-clock call time.NewTicker"
+	tick.Stop()
+	return d
+}

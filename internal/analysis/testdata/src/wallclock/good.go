@@ -1,0 +1,17 @@
+//c4hvet:pkg cloud4home/internal/netsim
+package fixture
+
+import "time"
+
+type clock interface {
+	Now() time.Time
+	Sleep(time.Duration)
+}
+
+// good charges all time to an injected clock; time.Duration arithmetic
+// and constants are always allowed.
+func good(c clock) time.Duration {
+	t0 := c.Now()
+	c.Sleep(50 * time.Millisecond)
+	return c.Now().Sub(t0)
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// importName returns the local name under which file imports path, and
+// whether it imports it at all. An explicit alias wins; otherwise the
+// default name is the last path element. Blank ("_") and dot (".")
+// imports report not-imported: rules cannot resolve selectors through
+// them, and neither form appears in this codebase.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:], true
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// imports returns the unquoted import paths of a file.
+func imports(f *ast.File) []string {
+	out := make([]string, 0, len(f.Imports))
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pkgCall matches a call of the form <pkgName>.<sel>(...) where pkgName
+// is the local name of an imported package, and returns the selector
+// name. It returns "" when the call has a different shape.
+func pkgCall(call *ast.CallExpr, pkgName string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// exprString renders a (small) expression as source text, for use as a
+// stable key and in diagnostics. It covers the shapes that appear as
+// mutex and channel operands; anything else renders as "?".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "?"
+	}
+}
+
+// relPkg strips the module path prefix from an import path, returning
+// the module-relative package path and whether the import is internal
+// to the module.
+func relPkg(modPath, importPath string) (string, bool) {
+	if importPath == modPath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, modPath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// position resolves a token.Pos through the module's file set.
+func position(m *Module, pos token.Pos) token.Position {
+	return m.Fset.Position(pos)
+}
