@@ -28,8 +28,9 @@ race:
 check: build vet lint test race
 
 # One iteration of every benchmark, with the paper-reproduction metrics.
+# The stream also lands, machine-readable, in BENCH_baseline.json.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/c4h-benchjson -o BENCH_baseline.json
 
 # Regenerate every table and figure of the paper's evaluation.
 repro:

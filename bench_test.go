@@ -268,3 +268,42 @@ func BenchmarkScale(b *testing.B) {
 	b.ReportMetric(float64(final.Lookup.Mean.Milliseconds()), "lookup@32-ms")
 	b.ReportMetric(float64(final.JoinCost.Milliseconds()), "join@32-ms")
 }
+
+// BenchmarkScaleUp measures the concurrent data plane: aggregate fetch
+// throughput with many client threads, sequential vs striped vs
+// striped+cached.
+func BenchmarkScaleUp(b *testing.B) {
+	var last *experiments.ScaleUpResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScaleUp(experiments.DefaultScaleUp(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	seq, _ := last.Row("sequential", 4)
+	str, _ := last.Row("striped", 4)
+	cch, _ := last.Row("striped+cache", 4)
+	b.ReportMetric(seq.AggregateMBps, "sequential@4-MBps")
+	b.ReportMetric(str.AggregateMBps, "striped@4-MBps")
+	b.ReportMetric(cch.AggregateMBps, "cached@4-MBps")
+	if seq.AggregateMBps > 0 {
+		b.ReportMetric(str.AggregateMBps/seq.AggregateMBps, "striped/sequential")
+	}
+}
+
+// BenchmarkAblationDataCache measures the dom0 object cache's hit path
+// against the remote miss and the local-fetch floor.
+func BenchmarkAblationDataCache(b *testing.B) {
+	var last *experiments.AblationDataCacheResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAblationDataCache(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(float64(last.Miss.Mean.Milliseconds()), "miss-ms")
+	b.ReportMetric(float64(last.Hit.Mean.Milliseconds()), "hit-ms")
+	b.ReportMetric(float64(last.Local.Mean.Milliseconds()), "localFloor-ms")
+}

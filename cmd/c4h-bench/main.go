@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations] [-seed 2011]
+//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup] [-seed 2011]
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale)")
+		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup)")
 		seed = flag.Int64("seed", 2011, "simulation seed")
 	)
 	flag.Parse()
@@ -99,6 +99,14 @@ func run(exp string, seed int64) error {
 		printTable(res.Table())
 		ran = true
 	}
+	if want("scaleup") {
+		res, err := experiments.RunScaleUp(experiments.DefaultScaleUp(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
 	if want("ablations") {
 		kvRes, err := experiments.RunAblationKVCache(seed)
 		if err != nil {
@@ -130,6 +138,11 @@ func run(exp string, seed int64) error {
 			return err
 		}
 		printTable(meta.Table())
+		dc, err := experiments.RunAblationDataCache(seed)
+		if err != nil {
+			return err
+		}
+		printTable(dc.Table())
 		ran = true
 	}
 	if !ran {

@@ -1,0 +1,126 @@
+// Command c4h-benchjson converts `go test -bench` output into a
+// machine-readable JSON document. It reads the benchmark stream on
+// stdin, passes it through unchanged to stdout (so it can sit in a
+// pipeline without hiding the human-readable results), and writes the
+// parsed form to the file named by -o.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -benchtime=1x ./... | c4h-benchjson -o BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is the whole converted stream.
+type Result struct {
+	GOOS   string  `json:"goos,omitempty"`
+	GOARCH string  `json:"goarch,omitempty"`
+	CPU    string  `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark line. Metrics map unit → value and include
+// ns/op, the -benchmem B/op and allocs/op pairs, and every custom
+// b.ReportMetric unit.
+type Benchmark struct {
+	Pkg        string             `json:"pkg,omitempty"`
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+var procSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// parseBench consumes a `go test -bench` stream and returns the parsed
+// document. Non-benchmark lines (test PASS/ok chatter) are ignored.
+func parseBench(r io.Reader) (*Result, error) {
+	res := &Result{Benchmarks: []Benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			res.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			res.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			res.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		b := Benchmark{Pkg: pkg, Name: fields[0], Metrics: map[string]float64{}}
+		if m := procSuffix.FindStringSubmatch(b.Name); m != nil {
+			b.Procs, _ = strconv.Atoi(m[1])
+			b.Name = strings.TrimSuffix(b.Name, m[0])
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // header or malformed line
+		}
+		b.Iterations = iters
+		// The remainder alternates value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: %q: bad value %q", b.Name, fields[i])
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		res.Benchmarks = append(res.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON to this file (default stdout only)")
+	flag.Parse()
+
+	// Pass the stream through while capturing it for parsing.
+	var buf strings.Builder
+	if _, err := io.Copy(io.MultiWriter(os.Stdout, &buf), os.Stdin); err != nil {
+		log.Fatal(err)
+	}
+	res, err := parseBench(strings.NewReader(buf.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(res.Benchmarks), *out)
+}

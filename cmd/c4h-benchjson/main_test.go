@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cloud4home
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScaleUp           	       1	  19565075 ns/op	        27.30 cached@4-MBps	         6.989 sequential@4-MBps	        14.70 striped@4-MBps
+BenchmarkAblationDataCache-8 	       2	   1061877 ns/op	       132.0 hit-ms	      1269 miss-ms	     704 B/op	       1 allocs/op
+PASS
+ok  	cloud4home	0.023s
+`
+
+func TestParseBench(t *testing.T) {
+	res, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GOOS != "linux" || res.GOARCH != "amd64" {
+		t.Errorf("context = %q/%q", res.GOOS, res.GOARCH)
+	}
+	if len(res.Benchmarks) != 2 {
+		t.Fatalf("%d benchmarks, want 2", len(res.Benchmarks))
+	}
+	su := res.Benchmarks[0]
+	if su.Name != "BenchmarkScaleUp" || su.Pkg != "cloud4home" || su.Iterations != 1 {
+		t.Errorf("first bench parsed as %+v", su)
+	}
+	if su.Metrics["ns/op"] != 19565075 || su.Metrics["striped@4-MBps"] != 14.70 {
+		t.Errorf("metrics = %v", su.Metrics)
+	}
+	dc := res.Benchmarks[1]
+	if dc.Name != "BenchmarkAblationDataCache" || dc.Procs != 8 || dc.Iterations != 2 {
+		t.Errorf("second bench parsed as %+v", dc)
+	}
+	if dc.Metrics["B/op"] != 704 || dc.Metrics["allocs/op"] != 1 {
+		t.Errorf("benchmem metrics = %v", dc.Metrics)
+	}
+}
+
+func TestParseBenchRejectsMalformedValue(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX 1 zap ns/op\n")); err == nil {
+		t.Fatal("malformed value accepted")
+	}
+}

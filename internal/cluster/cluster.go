@@ -70,6 +70,9 @@ type Options struct {
 	KV *kv.Options
 	// Netbooks overrides the netbook count (default 5).
 	Netbooks int
+	// DataPlane configures the concurrent data-plane features on every
+	// node; the zero value keeps the paper's sequential behaviour.
+	DataPlane core.DataPlaneConfig
 }
 
 // New builds the paper testbed. All construction runs inside the virtual
@@ -96,6 +99,7 @@ func New(opts Options) (*Testbed, error) {
 				MandatoryBytes: 4 * GB,
 				VoluntaryBytes: 2 * GB,
 				CloudGateway:   i == 0,
+				DataPlane:      opts.DataPlane,
 			})
 			if err != nil {
 				return
@@ -107,6 +111,7 @@ func New(opts Options) (*Testbed, error) {
 			Machine:        DesktopSpec(),
 			MandatoryBytes: 16 * GB,
 			VoluntaryBytes: 16 * GB,
+			DataPlane:      opts.DataPlane,
 		})
 		if err != nil {
 			return

@@ -140,6 +140,19 @@ func (s *Session) DeleteObject(name string) error {
 			return err
 		}
 	}
+	// Best-effort payload replicas go too, best effort again: a replica
+	// that already departed simply has nothing left to delete.
+	for _, addr := range meta.Replicas {
+		rep, ok := s.node.home.Node(addr)
+		if !ok || addr == meta.Location {
+			continue
+		}
+		if rep != s.node {
+			s.node.home.net.Message(s.node.lanPathTo(rep))
+		}
+		_ = rep.store.Delete(meta.Name)
+	}
+	s.node.home.invalidateDataCaches(meta.Name)
 	if err := s.node.home.kv.Delete(s.node.id, meta.Key()); err != nil && !errors.Is(err, kv.ErrNotFound) {
 		return err
 	}

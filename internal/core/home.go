@@ -25,7 +25,10 @@ type lanWire struct {
 	msgPath *netsim.Path
 }
 
-var _ overlay.Wire = (*lanWire)(nil)
+var (
+	_ overlay.Wire   = (*lanWire)(nil)
+	_ kv.Broadcaster = (*lanWire)(nil)
+)
 
 func newLANWire(net *netsim.Network, fabric *netsim.Resource) *lanWire {
 	return &lanWire{
@@ -43,6 +46,14 @@ func newLANWire(net *netsim.Network, fabric *netsim.Resource) *lanWire {
 // Send implements overlay.Wire.
 func (w *lanWire) Send(_, _ ids.ID) {
 	w.net.Message(w.msgPath)
+	w.net.Clock().Sleep(w.perHop)
+}
+
+// Broadcast implements kv.Broadcaster: the deliveries overlap on the LAN,
+// so the cost is the slowest message plus one hop's worth of protocol
+// processing, rather than the per-recipient sum Send would charge.
+func (w *lanWire) Broadcast(_ ids.ID, to []ids.ID) {
+	w.net.MessageAll(w.msgPath, len(to))
 	w.net.Clock().Sleep(w.perHop)
 }
 
@@ -186,6 +197,18 @@ func (h *Home) Federate(peer *Home) {
 	peer.Federate(h)
 }
 
+// invalidateDataCaches drops any dom0-cached payload for name across the
+// home, so a relocated, overwritten, or deleted object can never be
+// served stale. No wire time is charged here: the notification piggybacks
+// on the metadata update the kv layer already pushed for the same event.
+func (h *Home) invalidateDataCaches(name string) {
+	for _, n := range h.Nodes() {
+		if n.dataCache != nil {
+			n.dataCache.invalidate(name)
+		}
+	}
+}
+
 // federatedLookup searches neighbour homes for an object's metadata.
 func (h *Home) federatedLookup(name string) (*Home, ObjectMeta, bool) {
 	h.mu.RLock()
@@ -197,7 +220,7 @@ func (h *Home) federatedLookup(name string) (*Home, ObjectMeta, bool) {
 		if len(nodes) == 0 {
 			continue
 		}
-		gr, err := peer.kv.Get(nodes[0].id, ids.HashString(name))
+		gr, err := peer.kv.GetRef(nodes[0].id, ids.HashString(name))
 		if err != nil {
 			continue
 		}

@@ -24,6 +24,10 @@ type ObjectMeta struct {
 	Location string `json:"location"`
 	// Bin records which bin holds the object at a home node.
 	Bin string `json:"bin,omitempty"`
+	// Replicas lists home nodes holding extra best-effort payload copies
+	// beyond Location (the concurrent data plane's striped reads pull from
+	// all of them in parallel). Absent for paper-baseline placements.
+	Replicas []string `json:"replicas,omitempty"`
 	// Owner is the principal that created the object ("" = open access,
 	// the base prototype's behaviour).
 	Owner string `json:"owner,omitempty"`

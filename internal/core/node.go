@@ -56,6 +56,10 @@ type NodeConfig struct {
 	DataDir string
 	// MonitorPeriod is the resource publication interval (default 5 s).
 	MonitorPeriod time.Duration
+	// DataPlane enables the concurrent data-plane features (striped
+	// replica fetch, pipelined transfers, dom0 cache); the zero value is
+	// the paper's sequential behaviour.
+	DataPlane DataPlaneConfig
 }
 
 func (c *NodeConfig) applyDefaults() {
@@ -82,11 +86,12 @@ type Node struct {
 	id    ids.ID
 	clock vclock.Clock
 
-	router *overlay.Router
-	store  *objstore.Store
-	mach   *machine.Machine
-	nic    *netsim.Resource
-	mon    *monitor.Monitor
+	router    *overlay.Router
+	store     *objstore.Store
+	mach      *machine.Machine
+	nic       *netsim.Resource
+	mon       *monitor.Monitor
+	dataCache *dataCache // dom0 payload cache; nil when disabled
 
 	mu       sync.Mutex
 	deployed map[ids.ID]services.Spec // services runnable on this node
@@ -140,6 +145,14 @@ func (h *Home) AddNode(cfg NodeConfig) (*Node, error) {
 		mach:     mach,
 		nic:      netsim.NewResource("nic:"+cfg.Addr, nicBps),
 		deployed: make(map[ids.ID]services.Spec),
+	}
+	if cb := cfg.DataPlane.CacheBytes; cb > 0 {
+		// The cache lives in space the device already volunteered to the
+		// pool, so it can never exceed the voluntary bin.
+		if cfg.VoluntaryBytes > 0 && cb > cfg.VoluntaryBytes {
+			cb = cfg.VoluntaryBytes
+		}
+		n.dataCache = newDataCache(cb)
 	}
 	h.kv.Attach(n.id)
 
@@ -390,10 +403,12 @@ func (n *Node) putMeta(meta ObjectMeta) error {
 }
 
 // getMeta resolves an object's metadata, measuring the DHT lookup time.
+// It reads through kv's zero-copy path: the record is decoded immediately
+// and the raw bytes are never retained.
 func (n *Node) getMeta(name string) (ObjectMeta, time.Duration, error) {
 	start := n.clock.Now()
 	n.clock.Sleep(chimeraIPC)
-	gr, err := n.home.kv.Get(n.id, ids.HashString(name))
+	gr, err := n.home.kv.GetRef(n.id, ids.HashString(name))
 	lookup := n.clock.Now().Sub(start)
 	if err != nil {
 		if errors.Is(err, kv.ErrNotFound) {

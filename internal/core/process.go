@@ -132,7 +132,7 @@ func (s *Session) FetchProcess(name, svcName string, svcID uint32) (ProcessResul
 	// the requesting node."
 	if s.node.HasService(svcName, svcID) {
 		spec, _ := s.node.serviceSpec(svcName, svcID)
-		_, data, _, bd, err := s.node.fetchToDom0(name, s.principal)
+		_, data, _, bd, err := s.node.fetchToDom0(name, s.principal, nil)
 		if err != nil {
 			return ProcessResult{}, err
 		}

@@ -11,6 +11,10 @@ type OpStats struct {
 	Deletes      int64
 	BytesStored  int64
 	BytesFetched int64
+	// CacheHits/CacheMisses count dom0 data-cache outcomes on remote
+	// fetches; both stay zero when the cache is disabled.
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // opCounters is the node-internal atomic representation.
@@ -21,6 +25,8 @@ type opCounters struct {
 	deletes      atomic.Int64
 	bytesStored  atomic.Int64
 	bytesFetched atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
 }
 
 func (c *opCounters) snapshot() OpStats {
@@ -31,6 +37,8 @@ func (c *opCounters) snapshot() OpStats {
 		Deletes:      c.deletes.Load(),
 		BytesStored:  c.bytesStored.Load(),
 		BytesFetched: c.bytesFetched.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		CacheMisses:  c.cacheMisses.Load(),
 	}
 }
 

@@ -122,6 +122,9 @@ func (n *Node) place(obj objstore.Object, data []byte, override policy.StorePoli
 	for {
 		loc, err := n.placeAt(obj, data, decision)
 		if err == nil {
+			// The name may shadow an earlier object (overwrites relocate);
+			// any dom0-cached payload for it is stale now.
+			n.home.invalidateDataCaches(obj.Name)
 			return loc, decision.Target, nil
 		}
 		if !errors.Is(err, objstore.ErrBinFull) && !errors.Is(err, objstore.ErrExists) {
@@ -163,7 +166,9 @@ func (n *Node) placeAt(obj objstore.Object, data []byte, d policy.StoreDecision)
 		if err := n.store.Put(objstore.Mandatory, obj, data); err != nil {
 			return "", err
 		}
-		if err := n.putMeta(metaFromObject(obj, n.addr, objstore.Mandatory)); err != nil {
+		meta := metaFromObject(obj, n.addr, objstore.Mandatory)
+		meta.Replicas = n.replicateData(obj, data, n.addr)
+		if err := n.putMeta(meta); err != nil {
 			return "", err
 		}
 		return n.addr, nil
@@ -179,7 +184,9 @@ func (n *Node) placeAt(obj objstore.Object, data []byte, d policy.StoreDecision)
 			return "", err
 		}
 		n.home.net.Message(n.lanPathTo(peer))
-		if err := n.putMeta(metaFromObject(obj, peer.addr, objstore.Voluntary)); err != nil {
+		meta := metaFromObject(obj, peer.addr, objstore.Voluntary)
+		meta.Replicas = n.replicateData(obj, data, peer.addr)
+		if err := n.putMeta(meta); err != nil {
 			return "", err
 		}
 		return peer.addr, nil

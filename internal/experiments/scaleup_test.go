@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScaleUpStripingBeatsSequentialUnderLoad(t *testing.T) {
+	cfg := DefaultScaleUp(42)
+	res, err := RunScaleUp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3*len(cfg.Clients) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), 3*len(cfg.Clients))
+	}
+	for _, clients := range cfg.Clients {
+		seq, ok1 := res.Row("sequential", clients)
+		str, ok2 := res.Row("striped", clients)
+		cch, ok3 := res.Row("striped+cache", clients)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("missing rows for clients=%d", clients)
+		}
+		// The acceptance bar: at ≥2 replicas and ≥2 client threads the
+		// striped plane must beat the sequential one on aggregate MB/s.
+		if clients >= 2 && str.AggregateMBps <= seq.AggregateMBps {
+			t.Errorf("clients=%d: striped %.1f MB/s not above sequential %.1f MB/s",
+				clients, str.AggregateMBps, seq.AggregateMBps)
+		}
+		if cch.AggregateMBps <= str.AggregateMBps {
+			t.Errorf("clients=%d: cache %.1f MB/s not above striped %.1f MB/s",
+				clients, cch.AggregateMBps, str.AggregateMBps)
+		}
+	}
+	// Sequential throughput must saturate (the single holder's NIC);
+	// striped keeps scaling with a second sweep's worth of headroom.
+	seq1, _ := res.Row("sequential", 1)
+	seq4, _ := res.Row("sequential", 4)
+	str4, _ := res.Row("striped", 4)
+	if seq4.AggregateMBps > 2.5*seq1.AggregateMBps {
+		t.Errorf("sequential scaled 1→4 clients %.1f→%.1f MB/s; expected holder-NIC saturation",
+			seq1.AggregateMBps, seq4.AggregateMBps)
+	}
+	if str4.AggregateMBps < 1.3*seq4.AggregateMBps {
+		t.Errorf("at 4 clients striped %.1f MB/s under 1.3× sequential %.1f MB/s",
+			str4.AggregateMBps, seq4.AggregateMBps)
+	}
+	_ = res.Table().Render()
+}
+
+// TestScaleUpDeterministic reruns the full concurrent sweep with the same
+// seed: every duration and throughput figure must be bit-identical, even
+// though each point runs multiple reader workers concurrently on the
+// virtual clock.
+func TestScaleUpDeterministic(t *testing.T) {
+	cfg := DefaultScaleUp(7)
+	cfg.Clients = []int{2, 4} // concurrency is the point here
+	a, err := RunScaleUp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScaleUp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two seeded runs diverged:\n%s\nvs\n%s", a.Table().Render(), b.Table().Render())
+	}
+}
+
+func TestAblationDataCache(t *testing.T) {
+	res, err := RunAblationDataCache(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hit skips the wire entirely: it must sit far below the miss and
+	// close to the local-fetch floor (both are a lookup plus an
+	// inter-domain transfer).
+	if res.Hit.Mean*3 >= res.Miss.Mean {
+		t.Errorf("cache hit %v not ≪ miss %v", res.Hit.Mean, res.Miss.Mean)
+	}
+	if res.Hit.Mean > 2*res.Local.Mean || res.Local.Mean > 2*res.Hit.Mean {
+		t.Errorf("cache hit %v far from local floor %v", res.Hit.Mean, res.Local.Mean)
+	}
+	if res.Hits != res.Misses || res.Hits == 0 {
+		t.Errorf("counters hits=%d misses=%d, want equal and positive", res.Hits, res.Misses)
+	}
+	if !res.InvalidatedOnOverwrite {
+		t.Error("overwrite left a stale payload in the dom0 cache")
+	}
+	_ = res.Table().Render()
+}

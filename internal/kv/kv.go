@@ -85,6 +85,15 @@ type Options struct {
 	Centralized bool
 }
 
+// Broadcaster is an optional capability of the wire: delivering one
+// notification to several peers concurrently instead of one after the
+// other. The replica push uses it when available, so a put's replication
+// cost is the slowest single delivery rather than the sum — the network
+// layer models the overlapping messages deterministically.
+type Broadcaster interface {
+	Broadcast(from ids.ID, to []ids.ID)
+}
+
 // GetResult reports a completed lookup.
 type GetResult struct {
 	Value Value
@@ -296,6 +305,9 @@ func (s *Store) Put(from, key ids.ID, data []byte, policy WritePolicy) (PutResul
 }
 
 // replicate pushes the full chain to the replica set beyond the owner.
+// The copies are applied in replica-set order; the wire is charged once
+// for the whole push — concurrently when the wire can broadcast, falling
+// back to sequential sends over plain wires.
 func (s *Store) replicate(owner, key ids.ID, chain []Value) {
 	if s.opts.ReplicationFactor == 0 || s.opts.Centralized {
 		return
@@ -304,6 +316,7 @@ func (s *Store) replicate(owner, key ids.ID, chain []Value) {
 	if err != nil {
 		return
 	}
+	targets := make([]ids.ID, 0, s.opts.ReplicationFactor)
 	for _, m := range r.ReplicaSet(key, s.opts.ReplicationFactor+1) {
 		if m.ID == owner {
 			continue
@@ -312,10 +325,20 @@ func (s *Store) replicate(owner, key ids.ID, chain []Value) {
 		if err != nil {
 			continue
 		}
-		s.wire.Send(owner, m.ID)
 		rs.mu.Lock()
 		rs.entries[key] = cloneChain(chain)
 		rs.mu.Unlock()
+		targets = append(targets, m.ID)
+	}
+	if len(targets) == 0 {
+		return
+	}
+	if bc, ok := s.wire.(Broadcaster); ok {
+		bc.Broadcast(owner, targets)
+		return
+	}
+	for _, t := range targets {
+		s.wire.Send(owner, t)
 	}
 }
 
@@ -357,6 +380,51 @@ func (s *Store) GetAll(from, key ids.ID) ([]Value, int, error) {
 		return nil, 0, err
 	}
 	return cloneChain(chain), hops, nil
+}
+
+// GetRef is the zero-copy read path for trusted callers such as the
+// metadata layer, which decodes the value and discards it. The returned
+// Value aliases store internals: the caller must treat Data as read-only
+// and must not retain it past its own call frame. Everyone else should
+// use Get, which clones.
+func (s *Store) GetRef(from, key ids.ID) (GetResult, error) {
+	chain, hops, cached, err := s.getChain(from, key)
+	if err != nil {
+		return GetResult{}, err
+	}
+	return GetResult{
+		Value:     chain[len(chain)-1],
+		Hops:      hops,
+		FromCache: cached,
+	}, nil
+}
+
+// Holders reports which nodes currently hold an authoritative copy of
+// key — the owner first, then its replica set in replica-set order —
+// without moving any data. Read paths use it to spread load across the
+// copies replication already paid for.
+func (s *Store) Holders(from, key ids.ID) ([]ids.ID, error) {
+	if _, err := s.node(from); err != nil {
+		return nil, err
+	}
+	ownerID, _, err := s.locateOwner(from, key)
+	if err != nil {
+		return nil, fmt.Errorf("kv: holders %s: %w", key, err)
+	}
+	out := []ids.ID{ownerID}
+	if s.opts.ReplicationFactor == 0 || s.opts.Centralized {
+		return out, nil
+	}
+	r, err := s.mesh.Router(ownerID)
+	if err != nil {
+		return out, nil
+	}
+	for _, m := range r.ReplicaSet(key, s.opts.ReplicationFactor+1) {
+		if m.ID != ownerID {
+			out = append(out, m.ID)
+		}
+	}
+	return out, nil
 }
 
 func (s *Store) getChain(from, key ids.ID) (chain []Value, hops int, cached bool, err error) {
@@ -461,15 +529,20 @@ func (s *Store) populatePathCaches(key ids.ID, chain []Value, path []ids.ID, ser
 }
 
 // lookup returns the chain held locally, preferring authoritative copies
-// over cached ones.
+// over cached ones. The returned slice references the store's copy rather
+// than cloning it: chains are only ever replaced wholesale or appended to
+// (never mutated element-wise), so a reference stays consistent — callers
+// that hand data out clone at the boundary (Get, GetAll,
+// populatePathCaches), which turns the two clones the read path used to
+// pay into at most one.
 func (ns *nodeStore) lookup(key ids.ID) (chain []Value, fromCache, ok bool) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	if c, ok := ns.entries[key]; ok && len(c) > 0 {
-		return cloneChain(c), false, true
+		return c, false, true
 	}
 	if c, ok := ns.cache[key]; ok && len(c) > 0 {
-		return cloneChain(c), true, true
+		return c, true, true
 	}
 	return nil, false, false
 }

@@ -513,3 +513,127 @@ func TestCentralizedCacheStillWorks(t *testing.T) {
 		t.Fatalf("repeat centralized lookup not cached: hops=%d cached=%v", gr.Hops, gr.FromCache)
 	}
 }
+
+// broadcastWire counts plain sends separately from broadcasts so tests
+// can see which path the replica push took.
+type broadcastWire struct {
+	sends      int
+	broadcasts int
+	fanout     int
+}
+
+func (w *broadcastWire) Send(_, _ ids.ID) { w.sends++ }
+func (w *broadcastWire) Broadcast(_ ids.ID, to []ids.ID) {
+	w.broadcasts++
+	w.fanout += len(to)
+}
+
+func TestReplicateUsesBroadcastWire(t *testing.T) {
+	wire := &broadcastWire{}
+	mesh := overlay.NewMesh(wire)
+	st := New(mesh, wire, Options{ReplicationFactor: 2})
+	var nodes []ids.ID
+	for i := 0; i < 6; i++ {
+		r, err := mesh.Join(fmt.Sprintf("10.0.0.%d:7000", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Attach(r.Self().ID)
+		nodes = append(nodes, r.Self().ID)
+	}
+	wire.broadcasts, wire.fanout = 0, 0
+	if _, err := st.Put(nodes[0], ids.HashString("bc"), []byte("v"), Overwrite); err != nil {
+		t.Fatal(err)
+	}
+	if wire.broadcasts != 1 {
+		t.Fatalf("replica push made %d broadcasts, want 1", wire.broadcasts)
+	}
+	if wire.fanout != 2 {
+		t.Fatalf("broadcast fan-out %d, want 2 (rf=2)", wire.fanout)
+	}
+}
+
+func TestGetRefAliasesStoreGetClones(t *testing.T) {
+	st, _, nodes := buildStore(t, 5, Options{})
+	key := ids.HashString("ref")
+	pr, err := st.Put(nodes[0], key, []byte("payload"), Overwrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := st.GetRef(pr.Owner, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := st.node(pr.Owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns.mu.Lock()
+	aliases := &ns.entries[key][0].Data[0] == &ref.Value.Data[0]
+	ns.mu.Unlock()
+	if !aliases {
+		t.Fatal("GetRef cloned the value — the zero-copy path copies")
+	}
+	got, err := st.Get(pr.Owner, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got.Value.Data[0] == &ref.Value.Data[0] {
+		t.Fatal("public Get handed out a store reference")
+	}
+	if !bytes.Equal(got.Value.Data, []byte("payload")) {
+		t.Fatalf("Get returned %q", got.Value.Data)
+	}
+}
+
+func TestHoldersEnumeratesReplicaSet(t *testing.T) {
+	st, _, nodes := buildStore(t, 6, Options{ReplicationFactor: 2})
+	key := ids.HashString("holders")
+	pr, err := st.Put(nodes[0], key, []byte("v"), Overwrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders, err := st.Holders(nodes[1], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holders) != 3 {
+		t.Fatalf("Holders returned %d nodes, want 3 (owner + rf=2)", len(holders))
+	}
+	if holders[0] != pr.Owner {
+		t.Fatalf("Holders[0] = %s, want owner %s", holders[0], pr.Owner)
+	}
+	seen := make(map[ids.ID]bool)
+	for _, h := range holders {
+		if seen[h] {
+			t.Fatalf("duplicate holder %s", h)
+		}
+		seen[h] = true
+		ns, err := st.node(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ns.mu.Lock()
+		has := len(ns.entries[key]) > 0
+		ns.mu.Unlock()
+		if !has {
+			t.Fatalf("holder %s has no authoritative copy", h)
+		}
+	}
+}
+
+func TestHoldersWithoutReplicationIsOwnerOnly(t *testing.T) {
+	st, _, nodes := buildStore(t, 4, Options{})
+	key := ids.HashString("solo")
+	pr, err := st.Put(nodes[0], key, []byte("v"), Overwrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holders, err := st.Holders(nodes[2], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holders) != 1 || holders[0] != pr.Owner {
+		t.Fatalf("Holders = %v, want just owner %s", holders, pr.Owner)
+	}
+}

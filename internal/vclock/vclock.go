@@ -135,8 +135,17 @@ func (v *Virtual) Sleep(d time.Duration) {
 	v.mu.Unlock()
 }
 
-// advanceLocked jumps time to the earliest deadline and wakes every
-// sleeper due at that instant. Caller holds v.mu and v.active == 0.
+// advanceLocked jumps time to the earliest deadline and wakes exactly
+// one sleeper — the earliest, FIFO among equal deadlines. Caller holds
+// v.mu and v.active == 0.
+//
+// Waking one worker at a time (rather than every sleeper due at the
+// instant) keeps concurrent workloads deterministic: at most one worker
+// is runnable after the advance, so shared state (the network's
+// per-operation RNG counter, job queues, resource active counts) is
+// always touched in deadline order, never in Go-scheduler order. When
+// the woken worker sleeps or finishes, the next sleeper due at the same
+// instant wakes; virtual time never regresses.
 func (v *Virtual) advanceLocked() {
 	if v.sleeper.Len() == 0 {
 		return
@@ -145,11 +154,9 @@ func (v *Virtual) advanceLocked() {
 	if next.After(v.now) {
 		v.now = next
 	}
-	for v.sleeper.Len() > 0 && !v.sleeper[0].deadline.After(v.now) {
-		s := heap.Pop(&v.sleeper).(*sleeper)
-		s.woken = true
-		v.active++
-	}
+	s := heap.Pop(&v.sleeper).(*sleeper)
+	s.woken = true
+	v.active++
 	v.cond.Broadcast()
 }
 

@@ -28,6 +28,7 @@ func BenchmarkTransfer64KB(b *testing.B) {
 	c := benchChannel(b, DefaultConfig())
 	data := make([]byte, 64<<10)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Transfer(data); err != nil {
@@ -40,6 +41,7 @@ func BenchmarkTransfer1MBHugePages(b *testing.B) {
 	c := benchChannel(b, HugePageConfig())
 	data := make([]byte, 1<<20)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := c.Transfer(data); err != nil {

@@ -191,6 +191,83 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
+func TestTransferReusesStagingBuffer(t *testing.T) {
+	v := vclock.NewVirtual(epoch)
+	c := openDefault(t, v)
+	v.Run(func() {
+		first, _, err := c.Transfer([]byte("the first payload"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := &first[0]
+		second, _, err := c.Transfer([]byte("a second payload!"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &second[0] != buf {
+			t.Error("second transfer did not reuse the staging buffer")
+		}
+		if string(second) != "a second payload!" {
+			t.Errorf("payload corrupted: %q", second)
+		}
+		// The documented contract: the previous result is dead now.
+		if string(first) == "the first payload" {
+			t.Error("first result survived a second transfer — copies are back")
+		}
+	})
+}
+
+func TestPipelineCostMatchesEstimate(t *testing.T) {
+	// Draining ring-granular chunks must price to exactly what a whole-
+	// object TransferSize charges; pipelining changes the overlap with the
+	// wire phase, never the channel's total cost.
+	v := vclock.NewVirtual(epoch)
+	c := openDefault(t, v)
+	const size = 20 << 20
+	ring := int64(c.cfg.PageSize * c.cfg.NumPages)
+	var total time.Duration
+	var chunks int64
+	v.Run(func() {
+		p, err := c.StartPipeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for left := int64(size); left > 0; {
+			n := ring
+			if n > left {
+				n = left
+			}
+			total += p.ChunkCost(n)
+			chunks++
+			left -= n
+		}
+		before := v.Now()
+		p.Finish(42 * time.Millisecond)
+		if got := v.Now().Sub(before); got != 42*time.Millisecond {
+			t.Errorf("Finish slept %v, want 42ms", got)
+		}
+	})
+	// Per-chunk float→Duration truncation can shave under a nanosecond per
+	// chunk off the whole-object figure; nothing more.
+	est := c.Estimate(size)
+	if diff := est - total; diff < 0 || diff > time.Duration(chunks) {
+		t.Fatalf("pipelined cost %v vs Estimate %v (diff %v over %d chunks)", total, est, est-total, chunks)
+	}
+	st := c.Stats()
+	if st.Transfers != 1 || st.BytesMoved != size {
+		t.Fatalf("stats after pipeline: %+v", st)
+	}
+}
+
+func TestStartPipelineClosed(t *testing.T) {
+	v := vclock.NewVirtual(epoch)
+	c := openDefault(t, v)
+	c.Close()
+	if _, err := c.StartPipeline(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("StartPipeline on closed channel: %v, want ErrClosed", err)
+	}
+}
+
 func TestQuickRoundTrip(t *testing.T) {
 	v := vclock.NewVirtual(epoch)
 	c := openDefault(t, v)
