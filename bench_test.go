@@ -292,6 +292,31 @@ func BenchmarkScaleUp(b *testing.B) {
 	}
 }
 
+// BenchmarkComputeScaleUp measures the concurrent compute plane: 12 MB
+// face-recognition process latency, sequential vs sharded+overlap at 4
+// workers on clean desktops, plus the speculative mode's degraded-batch
+// recovery when the chosen desktop is saturated behind stale estimates.
+func BenchmarkComputeScaleUp(b *testing.B) {
+	var last *experiments.ComputeScaleUpResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunComputeScaleUp(experiments.DefaultComputeScaleUp(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	seq, _ := last.Row("sequential", 1)
+	ov4, _ := last.Row("sharded+overlap", 4)
+	sp4, _ := last.Row("sharded+overlap+spec", 4)
+	b.ReportMetric(seq.Clean.Mean.Seconds(), "sequential-s")
+	b.ReportMetric(ov4.Clean.Mean.Seconds(), "overlap@4-s")
+	if ov4.Clean.Mean > 0 {
+		b.ReportMetric(float64(seq.Clean.Mean)/float64(ov4.Clean.Mean), "speedup@4")
+	}
+	b.ReportMetric(ov4.Degraded.Mean.Seconds(), "degraded@4-s")
+	b.ReportMetric(sp4.Degraded.Mean.Seconds(), "specDegraded@4-s")
+}
+
 // BenchmarkAblationDataCache measures the dom0 object cache's hit path
 // against the remote miss and the local-fetch floor.
 func BenchmarkAblationDataCache(b *testing.B) {

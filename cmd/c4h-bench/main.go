@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup] [-seed 2011]
+//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale] [-seed 2011]
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup)")
+		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale)")
 		seed = flag.Int64("seed", 2011, "simulation seed")
 	)
 	flag.Parse()
@@ -101,6 +101,14 @@ func run(exp string, seed int64) error {
 	}
 	if want("scaleup") {
 		res, err := experiments.RunScaleUp(experiments.DefaultScaleUp(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("computescale") {
+		res, err := experiments.RunComputeScaleUp(experiments.DefaultComputeScaleUp(seed))
 		if err != nil {
 			return err
 		}

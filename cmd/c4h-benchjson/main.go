@@ -7,6 +7,11 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -benchtime=1x ./... | c4h-benchjson -o BENCH_baseline.json
+//
+// The diff subcommand compares two converted files and exits non-zero
+// when any directional metric regressed past the threshold:
+//
+//	c4h-benchjson diff [-threshold 0.10] [-all] BENCH_baseline.json bench-new.json
 package main
 
 import (
@@ -98,7 +103,130 @@ func parseBench(r io.Reader) (*Result, error) {
 	return res, nil
 }
 
+// metricDirection classifies a metric unit: -1 means lower is better
+// (time-like), +1 means higher is better (throughput-like), 0 means the
+// metric is informational (sizes, ambiguous ratios, counts) and never
+// gates the diff. The simulated-time metrics the experiments report are
+// deterministic, so the threshold only absorbs intentional model changes.
+func metricDirection(unit string) int {
+	switch unit {
+	case "ns/op", "B/op", "allocs/op":
+		return -1
+	}
+	for _, suf := range []string{"-s", "-ms", "-us", "-ns"} {
+		if strings.HasSuffix(unit, suf) {
+			return -1
+		}
+	}
+	if strings.Contains(unit, "MBps") || strings.Contains(unit, "MB/s") ||
+		strings.Contains(unit, "speedup") || strings.HasSuffix(unit, "-%") {
+		return 1
+	}
+	return 0
+}
+
+// realTimeMetric reports units that measure host wall time or allocator
+// behaviour — too noisy to gate on by default. The bare "MB/s" unit is
+// testing's b.SetBytes host throughput; the simulated throughput
+// metrics use custom "...-MBps"/"...-MB/s" units and stay gated.
+func realTimeMetric(unit string) bool {
+	return unit == "ns/op" || unit == "B/op" || unit == "allocs/op" || unit == "MB/s"
+}
+
+// Regression is one metric that moved in the worse direction past the
+// threshold.
+type Regression struct {
+	Bench  string
+	Metric string
+	Old    float64
+	New    float64
+	Delta  float64 // signed relative change, (new-old)/old
+}
+
+// diffResults compares the intersection of (benchmark, metric) pairs.
+// Benchmarks missing from the new run are skipped, so a subset run can
+// be diffed against the full baseline. Returns the regressions and the
+// number of gated comparisons made.
+func diffResults(oldRes, newRes *Result, threshold float64, all bool) (regs []Regression, compared int) {
+	key := func(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
+	newBy := map[string]Benchmark{}
+	for _, b := range newRes.Benchmarks {
+		newBy[key(b)] = b
+	}
+	for _, ob := range oldRes.Benchmarks {
+		nb, ok := newBy[key(ob)]
+		if !ok {
+			continue
+		}
+		for unit, ov := range ob.Metrics {
+			nv, ok := nb.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			dir := metricDirection(unit)
+			if dir == 0 || (realTimeMetric(unit) && !all) {
+				continue
+			}
+			compared++
+			delta := (nv - ov) / ov
+			if float64(dir)*delta < -threshold {
+				regs = append(regs, Regression{
+					Bench: ob.Name, Metric: unit, Old: ov, New: nv, Delta: delta,
+				})
+			}
+		}
+	}
+	return regs, compared
+}
+
+func readResult(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	return &res, nil
+}
+
+func diffMain(argv []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10, "relative regression threshold")
+	all := fs.Bool("all", false, "also gate on the noisy host-time metrics (ns/op, B/op, allocs/op)")
+	_ = fs.Parse(argv)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: c4h-benchjson diff [-threshold 0.10] [-all] old.json new.json")
+		return 2
+	}
+	oldRes, err := readResult(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	newRes, err := readResult(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	regs, compared := diffResults(oldRes, newRes, *threshold, *all)
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s %s: %g -> %g (%+.1f%%)\n",
+			r.Bench, r.Metric, r.Old, r.New, 100*r.Delta)
+	}
+	fmt.Printf("benchjson diff: %d metrics compared, %d regressions (threshold %.0f%%)\n",
+		compared, len(regs), 100**threshold)
+	if len(regs) > 0 {
+		return 1
+	}
+	return 0
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diffMain(os.Args[2:]))
+	}
 	out := flag.String("o", "", "write JSON to this file (default stdout only)")
 	flag.Parse()
 

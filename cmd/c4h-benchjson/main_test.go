@@ -47,3 +47,63 @@ func TestParseBenchRejectsMalformedValue(t *testing.T) {
 		t.Fatal("malformed value accepted")
 	}
 }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Pkg: "cloud4home", Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestDiffFlagsTimeRegression(t *testing.T) {
+	oldRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkA", map[string]float64{"total-ms": 100})}}
+	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkA", map[string]float64{"total-ms": 115})}}
+	regs, compared := diffResults(oldRes, newRes, 0.10, false)
+	if compared != 1 || len(regs) != 1 {
+		t.Fatalf("compared=%d regs=%v", compared, regs)
+	}
+	if regs[0].Metric != "total-ms" || regs[0].Delta < 0.14 || regs[0].Delta > 0.16 {
+		t.Errorf("regression = %+v", regs[0])
+	}
+	// Getting faster is not a regression.
+	newRes.Benchmarks[0].Metrics["total-ms"] = 80
+	if regs, _ := diffResults(oldRes, newRes, 0.10, false); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+}
+
+func TestDiffFlagsThroughputDrop(t *testing.T) {
+	oldRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkB", map[string]float64{"agg-MBps": 20, "speedup": 2.0})}}
+	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkB", map[string]float64{"agg-MBps": 16, "speedup": 2.5})}}
+	regs, compared := diffResults(oldRes, newRes, 0.10, false)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2", compared)
+	}
+	if len(regs) != 1 || regs[0].Metric != "agg-MBps" {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+func TestDiffSkipsNeutralAndHostTimeMetrics(t *testing.T) {
+	oldRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkC",
+		map[string]float64{"ns/op": 1000, "MB/s": 2000, "peakSize-MB": 20, "remote/home": 3})}}
+	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkC",
+		map[string]float64{"ns/op": 9000, "MB/s": 1200, "peakSize-MB": 40, "remote/home": 9})}}
+	if regs, compared := diffResults(oldRes, newRes, 0.10, false); compared != 0 || len(regs) != 0 {
+		t.Fatalf("gated on neutral/host metrics: compared=%d regs=%v", compared, regs)
+	}
+	// -all opts the host-time metrics in.
+	regs, compared := diffResults(oldRes, newRes, 0.10, true)
+	if compared != 2 || len(regs) != 2 {
+		t.Fatalf("-all: compared=%d regs=%v", compared, regs)
+	}
+}
+
+func TestDiffSkipsBenchmarksMissingFromNewRun(t *testing.T) {
+	oldRes := &Result{Benchmarks: []Benchmark{
+		bench("BenchmarkGone", map[string]float64{"total-ms": 100}),
+		bench("BenchmarkKept", map[string]float64{"total-ms": 50}),
+	}}
+	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkKept", map[string]float64{"total-ms": 50})}}
+	regs, compared := diffResults(oldRes, newRes, 0.10, false)
+	if compared != 1 || len(regs) != 0 {
+		t.Fatalf("subset diff: compared=%d regs=%v", compared, regs)
+	}
+}

@@ -156,5 +156,31 @@ func run() error {
 		total += s.bytes
 	}
 	fmt.Printf("aggregate: %.2f MB/s\n", float64(total)/wall.Seconds()/(1<<20))
+	return nodeCounters(*addr)
+}
+
+// nodeCounters prints the daemon's per-node operation counters, with the
+// compute-plane columns (kernel shards, overlap savings, speculative
+// hedges) whenever the daemon ran with those features enabled.
+func nodeCounters(addr string) error {
+	client, err := daemon.Dial(addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	stats, err := client.Stats()
+	if err != nil {
+		return err
+	}
+	for _, n := range stats {
+		fmt.Printf("node %-18s stores=%-4d fetches=%-4d processes=%-3d load=%.2f",
+			n.Addr, n.Stores, n.Fetches, n.Processes, n.CPULoad)
+		if n.ShardsExecuted > 0 || n.OverlapSaved > 0 || n.SpecLaunches > 0 {
+			fmt.Printf(" shards=%d overlapSaved=%v specLaunch/win/cancel=%d/%d/%d",
+				n.ShardsExecuted, n.OverlapSaved.Round(time.Millisecond),
+				n.SpecLaunches, n.SpecWins, n.SpecCancels)
+		}
+		fmt.Println()
+	}
 	return nil
 }

@@ -129,9 +129,15 @@ func run(args []string) error {
 		fmt.Printf("%-20s %8s %8s %8s %8s %12s %12s %6s %8s\n",
 			"node", "stores", "fetches", "procs", "deletes", "bytesIn", "bytesOut", "load", "memFree")
 		for _, s := range stats {
-			fmt.Printf("%-20s %8d %8d %8d %8d %12d %12d %6.2f %7dM\n",
+			fmt.Printf("%-20s %8d %8d %8d %8d %12d %12d %6.2f %7dM",
 				s.Addr, s.Stores, s.Fetches, s.Processes, s.Deletes,
 				s.BytesStored, s.BytesFetched, s.CPULoad, s.MemFreeMB)
+			if s.ShardsExecuted > 0 || s.OverlapSaved > 0 || s.SpecLaunches > 0 {
+				fmt.Printf("  shards=%d overlapSaved=%v spec=%d/%d/%d",
+					s.ShardsExecuted, s.OverlapSaved.Round(time.Millisecond),
+					s.SpecLaunches, s.SpecWins, s.SpecCancels)
+			}
+			fmt.Println()
 		}
 		return nil
 

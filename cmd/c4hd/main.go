@@ -44,11 +44,16 @@ func run() error {
 		cloud    = flag.Bool("cloud", true, "attach the simulated remote public cloud")
 		seed     = flag.Int64("seed", 1, "seed for simulated network jitter")
 		dataDir  = flag.String("data", "", "back object bins with files under this directory (empty = in-memory)")
+		workers  = flag.Int("workers", 0, "compute-plane worker pool width (0/1 = paper's sequential kernels)")
+		overlap  = flag.Bool("overlap", false, "overlap input movement with execution (process-as-pages-arrive)")
+		spec     = flag.Bool("speculate", false, "hedge process operations onto the top two candidates")
 	)
 	flag.Parse()
 	if *netbooks < 1 {
 		return fmt.Errorf("need at least one netbook, got %d", *netbooks)
 	}
+
+	cp := core.ComputePlaneConfig{Workers: *workers, Overlap: *overlap, Speculation: *spec}
 
 	home := core.NewHome(vclock.Real{}, core.HomeOptions{Seed: *seed})
 	if *cloud {
@@ -75,6 +80,7 @@ func run() error {
 			VoluntaryBytes: 2 * cluster.GB,
 			CloudGateway:   i == 0,
 			DataDir:        nodeDir(fmt.Sprintf("netbook-%d", i+1)),
+			ComputePlane:   cp,
 		})
 		if err != nil {
 			return err
@@ -88,6 +94,7 @@ func run() error {
 			MandatoryBytes: 16 * cluster.GB,
 			VoluntaryBytes: 16 * cluster.GB,
 			DataDir:        nodeDir("desktop"),
+			ComputePlane:   cp,
 		})
 		if err != nil {
 			return err

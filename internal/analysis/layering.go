@@ -30,10 +30,11 @@ var layerDAG = map[string][]string{
 	},
 
 	// Leaf packages: no sibling imports at all.
-	"internal/ids":     {},
-	"internal/vclock":  {},
-	"internal/command": {},
-	"internal/trace":   {},
+	"internal/ids":      {},
+	"internal/vclock":   {},
+	"internal/command":  {},
+	"internal/trace":    {},
+	"internal/parallel": {},
 
 	// Self-contained subsystems over the leaves.
 	"internal/rbtree":   {"internal/ids"},
@@ -48,7 +49,10 @@ var layerDAG = map[string][]string{
 		"internal/ids", "internal/kv", "internal/machine",
 		"internal/objstore", "internal/vclock",
 	},
-	"internal/services": {"internal/ids", "internal/kv", "internal/machine"},
+	"internal/services": {
+		"internal/ids", "internal/kv", "internal/machine",
+		"internal/parallel",
+	},
 	"internal/cloudsim": {
 		"internal/machine", "internal/netsim", "internal/objstore",
 		"internal/vclock",
@@ -61,8 +65,8 @@ var layerDAG = map[string][]string{
 		"internal/cloudsim", "internal/command", "internal/ids",
 		"internal/kv", "internal/machine", "internal/monitor",
 		"internal/netsim", "internal/objstore", "internal/overlay",
-		"internal/policy", "internal/services", "internal/vclock",
-		"internal/xenchan",
+		"internal/parallel", "internal/policy", "internal/services",
+		"internal/vclock", "internal/xenchan",
 	},
 	"internal/daemon": {"internal/command", "internal/core"},
 	"internal/cluster": {
@@ -74,9 +78,9 @@ var layerDAG = map[string][]string{
 	// lists it as a dependency).
 	"internal/experiments": {
 		"internal/cloudsim", "internal/cluster", "internal/core",
-		"internal/ids", "internal/kv", "internal/policy",
-		"internal/services", "internal/trace", "internal/vclock",
-		"internal/xenchan",
+		"internal/ids", "internal/kv", "internal/machine",
+		"internal/policy", "internal/services", "internal/trace",
+		"internal/vclock", "internal/xenchan",
 	},
 
 	// Test-only integration package and this analyzer: stdlib only.

@@ -73,6 +73,9 @@ type Options struct {
 	// DataPlane configures the concurrent data-plane features on every
 	// node; the zero value keeps the paper's sequential behaviour.
 	DataPlane core.DataPlaneConfig
+	// ComputePlane configures the concurrent compute-plane features on
+	// every node; the zero value keeps the paper's sequential behaviour.
+	ComputePlane core.ComputePlaneConfig
 }
 
 // New builds the paper testbed. All construction runs inside the virtual
@@ -100,6 +103,7 @@ func New(opts Options) (*Testbed, error) {
 				VoluntaryBytes: 2 * GB,
 				CloudGateway:   i == 0,
 				DataPlane:      opts.DataPlane,
+				ComputePlane:   opts.ComputePlane,
 			})
 			if err != nil {
 				return
@@ -112,6 +116,7 @@ func New(opts Options) (*Testbed, error) {
 			MandatoryBytes: 16 * GB,
 			VoluntaryBytes: 16 * GB,
 			DataPlane:      opts.DataPlane,
+			ComputePlane:   opts.ComputePlane,
 		})
 		if err != nil {
 			return

@@ -94,12 +94,19 @@ func (n *Node) evaluate(addr string, spec services.Spec, task machine.Task, objS
 			return policy.ProcCandidate{}, err
 		}
 		move := n.estimateMove(objSize, objLocation, addr)
+		exec := m.Estimate(task)
+		// The decision must predict what execution will do: the requester's
+		// compute-plane config selects sharded execution on the candidate
+		// (the plane is deployed home-wide in the experiments).
+		if strands, _ := n.strandsFor(task, objSize); strands > 1 {
+			exec = m.EstimateSharded(task, strands)
+		}
 		return policy.ProcCandidate{
 			Addr:     addr,
 			IsCloud:  true,
 			Locate:   LocateTime,
 			Move:     move,
-			Exec:     m.Estimate(task) + n.dispatchFor(addr),
+			Exec:     exec + n.dispatchFor(addr),
 			CPULoad:  m.Load(),
 			Battery:  1,
 			MeetsSLA: m.Spec().MemMB >= spec.MinMemMB,
@@ -110,11 +117,15 @@ func (n *Node) evaluate(addr string, spec services.Spec, task machine.Task, objS
 	if err != nil {
 		return policy.ProcCandidate{}, err
 	}
+	exec := estimateExec(res, task)
+	if strands, _ := n.strandsFor(task, objSize); strands > 1 {
+		exec = estimateExecSharded(res, task, strands)
+	}
 	return policy.ProcCandidate{
 		Addr:     addr,
 		Locate:   LocateTime,
 		Move:     n.estimateMove(objSize, objLocation, addr),
-		Exec:     estimateExec(res, task) + n.dispatchFor(addr),
+		Exec:     exec + n.dispatchFor(addr),
 		CPULoad:  res.CPULoad,
 		Battery:  res.Battery,
 		MeetsSLA: res.MemTotalMB >= spec.MinMemMB,
@@ -181,6 +192,29 @@ func estimateExec(res monitor.Resources, task machine.Task) time.Duration {
 	rate := res.GHz * float64(par)
 	// Current load steals a proportional share of the cores.
 	secs := task.CPUGHzSec / rate * (1 + res.CPULoad)
+	if task.MemMB > 0 && task.MemMB > res.MemTotalMB {
+		secs *= machine.ThrashFactor
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// estimateExecSharded is estimateExec's counterpart for the sharded
+// execution model: strands runnable entities splitting the work evenly,
+// each receiving a fair core share — machine.EstimateSharded applied to a
+// monitored record instead of the live machine.
+func estimateExecSharded(res monitor.Resources, task machine.Task, strands int) time.Duration {
+	if res.Cores <= 0 || res.GHz <= 0 {
+		return time.Hour
+	}
+	if strands < 1 {
+		strands = 1
+	}
+	share := 1.0
+	if strands > res.Cores {
+		share = float64(res.Cores) / float64(strands)
+	}
+	rate := res.GHz * share
+	secs := task.CPUGHzSec / float64(strands) / rate * (1 + res.CPULoad)
 	if task.MemMB > 0 && task.MemMB > res.MemTotalMB {
 		secs *= machine.ThrashFactor
 	}

@@ -150,6 +150,14 @@ func (h *Home) Nodes() []*Node {
 	return out
 }
 
+// PublishAll pushes a fresh resource record for every live node, so the
+// decision process sees current monitor data without waiting a period.
+func (h *Home) PublishAll() {
+	for _, n := range h.Nodes() {
+		_ = n.mon.PublishOnce()
+	}
+}
+
 // Gateway returns a node hosting the public cloud interface module. "At
 // least one of these nodes must provide an interface among the home and
 // remote cloud services" (§III).

@@ -60,6 +60,10 @@ type NodeConfig struct {
 	// replica fetch, pipelined transfers, dom0 cache); the zero value is
 	// the paper's sequential behaviour.
 	DataPlane DataPlaneConfig
+	// ComputePlane enables the concurrent compute-plane features (sharded
+	// kernels, move/execute overlap, speculative placement); the zero
+	// value is the paper's sequential behaviour.
+	ComputePlane ComputePlaneConfig
 }
 
 func (c *NodeConfig) applyDefaults() {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"cloud4home/internal/command"
@@ -99,7 +100,7 @@ func (s *Session) Process(name, svcName string, svcID uint32) (ProcessResult, er
 	if err != nil {
 		return ProcessResult{}, err
 	}
-	res, err := s.node.executeAt(dec.Chosen.Addr, reg.Spec, meta)
+	res, err := s.node.executeDecided(dec, reg.Spec, meta)
 	if err != nil {
 		return ProcessResult{}, err
 	}
@@ -182,13 +183,14 @@ func (s *Session) FetchProcess(name, svcName string, svcID uint32) (ProcessResul
 	if err != nil {
 		return ProcessResult{}, err
 	}
-	res, err := s.node.executeAt(dec.Chosen.Addr, reg.Spec, meta)
+	res, err := s.node.executeDecided(dec, reg.Spec, meta)
 	if err != nil {
 		return ProcessResult{}, err
 	}
 	res.Mode = ModeDecided
 	res.Breakdown.Decision = dec.Elapsed
 	res.Breakdown.Total = s.node.clock.Now().Sub(start)
+	s.node.ops.processes.Add(1)
 	return res, nil
 }
 
@@ -238,19 +240,11 @@ func (s *Session) ProcessPipelineAt(name string, svcNames []string, svcIDs []uin
 		specs[i] = reg.Spec
 	}
 
-	data, moveIn, err := s.node.moveInput(meta, target)
-	if err != nil {
-		return ProcessResult{}, err
-	}
 	combined := ProcessResult{Target: target, Mode: ModeDecided, MatchID: -1}
-	combined.Breakdown.InputMove = moveIn
+	var data []byte
 	inputSize := meta.Size
-	for _, spec := range specs {
-		step, err := s.node.runService(target, spec, inputSize, data)
-		if err != nil {
-			return ProcessResult{}, err
-		}
-		combined.Service = spec.Name
+	fold := func(step ProcessResult) {
+		combined.Service = step.Service
 		combined.Breakdown.Exec += step.Breakdown.Exec
 		combined.OutputSize = step.OutputSize
 		if step.Output != nil {
@@ -264,6 +258,37 @@ func (s *Session) ProcessPipelineAt(name string, svcNames []string, svcIDs []uin
 		}
 		combined.Output = step.Output
 		inputSize = step.OutputSize
+	}
+
+	// The first step can overlap with the input move; later steps consume
+	// the previous step's output, which is already at the target.
+	next := 0
+	if s.node.cfg.ComputePlane.Overlap {
+		step, raw, ok, err := s.node.moveAndRun(target, specs[0], meta)
+		if ok {
+			if err != nil {
+				return ProcessResult{}, err
+			}
+			combined.Breakdown.InputMove = step.Breakdown.InputMove
+			data = raw
+			fold(step)
+			next = 1
+		}
+	}
+	if next == 0 {
+		raw, moveIn, err := s.node.moveInput(meta, target)
+		if err != nil {
+			return ProcessResult{}, err
+		}
+		data = raw
+		combined.Breakdown.InputMove = moveIn
+	}
+	for _, spec := range specs[next:] {
+		step, err := s.node.runService(target, spec, inputSize, data)
+		if err != nil {
+			return ProcessResult{}, err
+		}
+		fold(step)
 	}
 	if target != s.node.addr {
 		combined.Breakdown.OutputMove = s.node.moveOutput(target, combined.OutputSize)
@@ -284,22 +309,65 @@ func (n *Node) serviceSpec(name string, id uint32) (services.Spec, bool) {
 // executeAt moves the argument object to the target (if needed), runs the
 // service there, and moves the result back to this node.
 func (n *Node) executeAt(target string, spec services.Spec, meta ObjectMeta) (ProcessResult, error) {
+	return n.executeAtCancellable(target, spec, meta, nil)
+}
+
+// executeAtCancellable is executeAt with an optional cancellation flag
+// polled at phase boundaries — the losing hedge of a speculative launch
+// aborts before starting its next phase (a phase already in flight runs
+// to completion; the simulated clock cannot interrupt a charged sleep).
+func (n *Node) executeAtCancellable(target string, spec services.Spec, meta ObjectMeta, cancelled *atomic.Bool) (ProcessResult, error) {
+	abort := func() (ProcessResult, error) {
+		n.ops.specCancels.Add(1)
+		return ProcessResult{}, errSpeculationCancelled
+	}
+	if cancelled != nil && cancelled.Load() {
+		return abort()
+	}
+
+	// Process-as-pages-arrive: the move and the first execution fuse
+	// into one overlapped window when the path is eligible.
+	if n.cfg.ComputePlane.Overlap {
+		res, _, ok, err := n.moveAndRun(target, spec, meta)
+		if ok {
+			if err != nil {
+				return ProcessResult{}, err
+			}
+			if cancelled != nil && cancelled.Load() {
+				return abort()
+			}
+			if target != n.addr {
+				res.Breakdown.OutputMove = n.moveOutput(target, res.OutputSize)
+			}
+			return res, nil
+		}
+	}
+
 	var bd ProcessBreakdown
 	data, moveIn, err := n.moveInput(meta, target)
 	if err != nil {
 		return ProcessResult{}, err
 	}
 	bd.InputMove = moveIn
+	if cancelled != nil && cancelled.Load() {
+		return abort()
+	}
 
 	res, err := n.runService(target, spec, meta.Size, data)
 	if err != nil {
 		return ProcessResult{}, err
 	}
 	res.Breakdown.InputMove = bd.InputMove
+	if cancelled != nil && cancelled.Load() {
+		return abort()
+	}
 
 	// Result moves back to the requester unless it was produced here.
 	if target != n.addr {
 		res.Breakdown.OutputMove = n.moveOutput(target, res.OutputSize)
+	}
+	if cancelled != nil && cancelled.Load() {
+		return abort()
 	}
 	return res, nil
 }
@@ -410,6 +478,7 @@ func (n *Node) runService(target string, spec services.Spec, inputSize int64, da
 	n.clock.Sleep(dispatch)
 
 	var execDur time.Duration
+	strands := 1
 	if inst, ok := cloudInstanceName(target); ok {
 		cloud := n.home.Cloud()
 		if cloud == nil {
@@ -419,7 +488,14 @@ func (n *Node) runService(target string, spec services.Spec, inputSize int64, da
 		if err != nil {
 			return ProcessResult{}, err
 		}
-		execDur, err = m.Exec(task)
+		var shards int
+		strands, shards = n.strandsFor(task, inputSize)
+		if strands > 1 {
+			execDur, err = m.ExecSharded(task, strands)
+			n.ops.shardsExecuted.Add(int64(shards))
+		} else {
+			execDur, err = m.Exec(task)
+		}
 		if err != nil {
 			return ProcessResult{}, err
 		}
@@ -429,7 +505,14 @@ func (n *Node) runService(target string, spec services.Spec, inputSize int64, da
 			return ProcessResult{}, fmt.Errorf("core: run %s: target %q gone", spec.Name, target)
 		}
 		var err error
-		execDur, err = host.mach.Exec(task)
+		var shards int
+		strands, shards = host.strandsFor(task, inputSize)
+		if strands > 1 {
+			execDur, err = host.mach.ExecSharded(task, strands)
+			n.ops.shardsExecuted.Add(int64(shards))
+		} else {
+			execDur, err = host.mach.Exec(task)
+		}
 		if err != nil {
 			return ProcessResult{}, err
 		}
@@ -437,7 +520,7 @@ func (n *Node) runService(target string, spec services.Spec, inputSize int64, da
 	res.Breakdown.Exec = dispatch + execDur
 
 	if len(data) > 0 {
-		if err := n.applyKernel(spec, data, &res); err != nil {
+		if err := n.applyKernel(spec, data, &res, strands); err != nil {
 			return ProcessResult{}, err
 		}
 	}
@@ -457,10 +540,12 @@ func (n *Node) runServiceOnLocalObject(spec services.Spec, meta ObjectMeta) (Pro
 // applyKernel performs the actual computation for materialised payloads.
 // The training set for recognition is "available on any of the processing
 // locations" (the paper's assumption), so the requester's set is used.
-func (n *Node) applyKernel(spec services.Spec, data []byte, res *ProcessResult) error {
+// workers > 1 selects the sharded kernel variants, whose output is
+// byte-identical to the sequential kernels at any worker count.
+func (n *Node) applyKernel(spec services.Spec, data []byte, res *ProcessResult, workers int) error {
 	switch spec.Name {
 	case "fdet":
-		hits, err := services.DetectFaces(data)
+		hits, err := services.DetectFacesParallel(data, workers)
 		if err != nil {
 			return err
 		}
@@ -472,7 +557,7 @@ func (n *Node) applyKernel(spec services.Spec, data []byte, res *ProcessResult) 
 		if len(training) == 0 {
 			return fmt.Errorf("core: frec: no training set installed on %s", n.addr)
 		}
-		best, err := services.RecognizeFace(data, training)
+		best, err := services.RecognizeFaceParallel(data, training, workers)
 		if err != nil {
 			return err
 		}
@@ -480,7 +565,7 @@ func (n *Node) applyKernel(spec services.Spec, data []byte, res *ProcessResult) 
 		res.Output = []byte(strconv.Itoa(best))
 		res.OutputSize = int64(len(res.Output))
 	case "x264":
-		out, err := services.ConvertVideo(data)
+		out, err := services.ConvertVideoParallel(data, workers)
 		if err != nil {
 			return err
 		}

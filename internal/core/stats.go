@@ -1,6 +1,9 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // OpStats counts a node's VStore++ activity. All fields are cumulative
 // since the node joined; snapshots are safe to read concurrently.
@@ -15,30 +18,52 @@ type OpStats struct {
 	// fetches; both stay zero when the cache is disabled.
 	CacheHits   int64
 	CacheMisses int64
+	// ShardsExecuted counts kernel shards run by the sharded compute
+	// plane; zero while ComputePlaneConfig.Workers ≤ 1.
+	ShardsExecuted int64
+	// OverlapSaved accumulates the latency recovered by overlapping
+	// input movement with execution, versus running the phases serially.
+	OverlapSaved time.Duration
+	// SpecLaunches counts process operations hedged onto two candidates;
+	// SpecWins counts hedges where the secondary finished first, and
+	// SpecCancels counts losers that aborted at a phase boundary.
+	SpecLaunches int64
+	SpecWins     int64
+	SpecCancels  int64
 }
 
 // opCounters is the node-internal atomic representation.
 type opCounters struct {
-	stores       atomic.Int64
-	fetches      atomic.Int64
-	processes    atomic.Int64
-	deletes      atomic.Int64
-	bytesStored  atomic.Int64
-	bytesFetched atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
+	stores         atomic.Int64
+	fetches        atomic.Int64
+	processes      atomic.Int64
+	deletes        atomic.Int64
+	bytesStored    atomic.Int64
+	bytesFetched   atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	shardsExecuted atomic.Int64
+	overlapSaved   atomic.Int64 // nanoseconds
+	specLaunches   atomic.Int64
+	specWins       atomic.Int64
+	specCancels    atomic.Int64
 }
 
 func (c *opCounters) snapshot() OpStats {
 	return OpStats{
-		Stores:       c.stores.Load(),
-		Fetches:      c.fetches.Load(),
-		Processes:    c.processes.Load(),
-		Deletes:      c.deletes.Load(),
-		BytesStored:  c.bytesStored.Load(),
-		BytesFetched: c.bytesFetched.Load(),
-		CacheHits:    c.cacheHits.Load(),
-		CacheMisses:  c.cacheMisses.Load(),
+		Stores:         c.stores.Load(),
+		Fetches:        c.fetches.Load(),
+		Processes:      c.processes.Load(),
+		Deletes:        c.deletes.Load(),
+		BytesStored:    c.bytesStored.Load(),
+		BytesFetched:   c.bytesFetched.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		CacheMisses:    c.cacheMisses.Load(),
+		ShardsExecuted: c.shardsExecuted.Load(),
+		OverlapSaved:   time.Duration(c.overlapSaved.Load()),
+		SpecLaunches:   c.specLaunches.Load(),
+		SpecWins:       c.specWins.Load(),
+		SpecCancels:    c.specCancels.Load(),
 	}
 }
 

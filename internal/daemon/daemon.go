@@ -200,6 +200,13 @@ type nodeStats struct {
 	BytesFetched int64   `json:"bytesFetched"`
 	CPULoad      float64 `json:"cpuLoad"`
 	MemFreeMB    int64   `json:"memFreeMb"`
+	// Compute-plane counters (zero unless ComputePlaneConfig enables the
+	// concurrent features).
+	ShardsExecuted int64 `json:"shardsExecuted,omitempty"`
+	OverlapSavedMS int64 `json:"overlapSavedMs,omitempty"`
+	SpecLaunches   int64 `json:"specLaunches,omitempty"`
+	SpecWins       int64 `json:"specWins,omitempty"`
+	SpecCancels    int64 `json:"specCancels,omitempty"`
 }
 
 type statsResp struct {
@@ -312,6 +319,11 @@ func (s *Server) dispatch(conn net.Conn, pkt *command.Packet) error {
 				BytesFetched: ops.BytesFetched,
 				CPULoad:      n.Machine().Load(),
 				MemFreeMB:    n.Machine().MemFreeMB(),
+				ShardsExecuted: ops.ShardsExecuted,
+				OverlapSavedMS: ops.OverlapSaved.Milliseconds(),
+				SpecLaunches:   ops.SpecLaunches,
+				SpecWins:       ops.SpecWins,
+				SpecCancels:    ops.SpecCancels,
 			})
 		}
 		return s.writeJSON(conn, command.TypeResourceUpdate, out, nil)
@@ -527,6 +539,12 @@ type NodeStats struct {
 	BytesFetched int64
 	CPULoad      float64
 	MemFreeMB    int64
+	// Compute-plane counters; zero on the paper's sequential path.
+	ShardsExecuted int64
+	OverlapSaved   time.Duration
+	SpecLaunches   int64
+	SpecWins       int64
+	SpecCancels    int64
 }
 
 // Stats returns per-node operation counters and machine state.
@@ -551,6 +569,11 @@ func (c *Client) Stats() ([]NodeStats, error) {
 			BytesFetched: n.BytesFetched,
 			CPULoad:      n.CPULoad,
 			MemFreeMB:    n.MemFreeMB,
+			ShardsExecuted: n.ShardsExecuted,
+			OverlapSaved:   time.Duration(n.OverlapSavedMS) * time.Millisecond,
+			SpecLaunches:   n.SpecLaunches,
+			SpecWins:       n.SpecWins,
+			SpecCancels:    n.SpecCancels,
 		}
 	}
 	return out, nil

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/machine"
+	"cloud4home/internal/services"
+)
+
+// ComputeScaleUpConfig parameterises the concurrent compute-plane study:
+// a netbook requests face recognition on objects it holds, the decision
+// routes execution to one of two equal desktops, and the plane is swept
+// from the paper's sequential behaviour through sharded kernels,
+// move/execute overlap, and speculative dual placement.
+type ComputeScaleUpConfig struct {
+	Seed int64
+	// Workers sweeps the per-node worker-pool widths for the sharded
+	// modes (the sequential baseline runs once).
+	Workers []int
+	// Requests is the batch size per phase (clean and degraded).
+	Requests int
+	// InputSize per request object.
+	InputSize int64
+}
+
+// DefaultComputeScaleUp sweeps 1, 2 and 4 workers over 12 MB inputs —
+// frec at 3.5 GHz-s/MB gives 42 GHz-s of work per request.
+func DefaultComputeScaleUp(seed int64) ComputeScaleUpConfig {
+	return ComputeScaleUpConfig{
+		Seed:      seed,
+		Workers:   []int{1, 2, 4},
+		Requests:  4,
+		InputSize: 12 * MB,
+	}
+}
+
+// ComputeScaleUpRow is one (mode, workers) measurement: a clean batch on
+// idle desktops, then a degraded batch with one desktop saturated behind
+// stale monitor records (the estimate mispredicts, so only the
+// speculative mode recovers).
+type ComputeScaleUpRow struct {
+	Mode    string
+	Workers int
+	// Clean/Degraded summarise per-request process latencies.
+	Clean, Degraded Stats
+	// CleanWall/DegradedWall are the batch wall times.
+	CleanWall, DegradedWall time.Duration
+	// Requester compute-plane counters accumulated over both batches.
+	ShardsExecuted int64
+	OverlapSaved   time.Duration
+	SpecLaunches   int64
+	SpecWins       int64
+	SpecCancels    int64
+}
+
+// ComputeScaleUpResult compares the compute-plane modes.
+type ComputeScaleUpResult struct {
+	Rows []ComputeScaleUpRow
+}
+
+// computeScaleUpModes are the compared configurations; the sequential
+// baseline ignores the worker sweep.
+func computeScaleUpModes() []struct {
+	name string
+	cp   func(workers int) core.ComputePlaneConfig
+	once bool
+} {
+	return []struct {
+		name string
+		cp   func(workers int) core.ComputePlaneConfig
+		once bool
+	}{
+		{"sequential", func(int) core.ComputePlaneConfig { return core.ComputePlaneConfig{} }, true},
+		{"sharded", func(w int) core.ComputePlaneConfig {
+			return core.ComputePlaneConfig{Workers: w}
+		}, false},
+		{"sharded+overlap", func(w int) core.ComputePlaneConfig {
+			return core.ComputePlaneConfig{Workers: w, Overlap: true}
+		}, false},
+		{"sharded+overlap+spec", func(w int) core.ComputePlaneConfig {
+			return core.ComputePlaneConfig{Workers: w, Overlap: true, Speculation: true}
+		}, false},
+	}
+}
+
+// RunComputeScaleUp executes the sweep. Each cell builds a fresh testbed
+// with a second desktop so the decision has an equal runner-up, stores
+// the request objects on the requesting netbook, and runs the two
+// batches back to back.
+func RunComputeScaleUp(cfg ComputeScaleUpConfig) (*ComputeScaleUpResult, error) {
+	res := &ComputeScaleUpResult{}
+	for _, mode := range computeScaleUpModes() {
+		workers := cfg.Workers
+		if mode.once {
+			workers = cfg.Workers[:1]
+		}
+		for _, w := range workers {
+			row, err := runComputeScaleUpCell(cfg, mode.name, mode.cp(w), w)
+			if err != nil {
+				return nil, fmt.Errorf("compute scale-up %s workers=%d: %w", mode.name, w, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runComputeScaleUpCell(cfg ComputeScaleUpConfig, name string, cp core.ComputePlaneConfig, w int) (ComputeScaleUpRow, error) {
+	tb, err := cluster.New(cluster.Options{Seed: cfg.Seed, ComputePlane: cp})
+	if err != nil {
+		return ComputeScaleUpRow{}, err
+	}
+	row := ComputeScaleUpRow{Mode: name, Workers: w}
+	var runErr error
+	tb.Run(func() {
+		// A second, equal desktop: the decision's runner-up and the
+		// speculative hedge's refuge when the first degrades.
+		desk2, err := tb.Home.AddNode(core.NodeConfig{
+			Addr:           "desktop2:9000",
+			Machine:        cluster.DesktopSpec(),
+			MandatoryBytes: 16 * cluster.GB,
+			VoluntaryBytes: 16 * cluster.GB,
+			ComputePlane:   cp,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		for _, d := range []*core.Node{tb.Desktop, desk2} {
+			if err := d.DeployService(services.FaceRecognize(), "performance"); err != nil {
+				runErr = err
+				return
+			}
+		}
+		tb.PublishResources()
+		_ = desk2.Monitor().PublishOnce()
+
+		requester := tb.Netbooks[1]
+		sess, err := requester.OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer sess.Close()
+		store := func(prefix string) []string {
+			names := make([]string, cfg.Requests)
+			for i := range names {
+				// The names are identical across cells (each cell is a
+				// fresh testbed): object names feed the DHT key hashes,
+				// and differing hashes would drift the simulated jitter
+				// between cells that must be bit-comparable.
+				names[i] = fmt.Sprintf("cscale/%s-%d.bin", prefix, i)
+				if err := sess.CreateObject(names[i], "image", nil); err != nil {
+					runErr = err
+					return nil
+				}
+				if _, err := sess.StoreObject(names[i], nil, cfg.InputSize, core.StoreOptions{Blocking: true}); err != nil {
+					runErr = err
+					return nil
+				}
+			}
+			return names
+		}
+		// settle waits for the cancelled speculative loser to drain as a
+		// registered clock worker. Node.Flush would Block (deregister)
+		// the caller, and with background hogs parked in a long Sleep the
+		// clock would jump to their wake-up the moment the last runnable
+		// worker deregisters — polling the counters keeps the requester
+		// registered so virtual time only advances with the loser.
+		settle := func() {
+			if !cp.Speculation {
+				return
+			}
+			deadline := tb.V.Now().Add(time.Hour)
+			for tb.V.Now().Before(deadline) {
+				st := requester.OpStats()
+				if st.SpecCancels >= st.SpecLaunches {
+					return
+				}
+				tb.V.Sleep(time.Millisecond)
+			}
+		}
+		batch := func(names []string) (Stats, time.Duration) {
+			var durs []time.Duration
+			start := tb.V.Now()
+			for _, n := range names {
+				s0 := tb.V.Now()
+				if _, err := sess.Process(n, "frec", services.FaceRecognizeID); err != nil {
+					runErr = fmt.Errorf("process %s: %w", n, err)
+					return Stats{}, 0
+				}
+				durs = append(durs, tb.V.Now().Sub(s0))
+				// Settle the loser before the next request so every
+				// request sees the same starting state.
+				settle()
+			}
+			return Summarize(durs), tb.V.Now().Sub(start)
+		}
+
+		clean := store("clean")
+		if runErr != nil {
+			return
+		}
+		row.Clean, row.CleanWall = batch(clean)
+		if runErr != nil {
+			return
+		}
+
+		// Degrade the first desktop AFTER its record was published: four
+		// single-strand hogs halve every strand's core share, and the
+		// stale record keeps the decision pointing at it.
+		deg := store("deg")
+		if runErr != nil {
+			return
+		}
+		for i := 0; i < 4; i++ {
+			tb.V.Go(func() {
+				_, _ = tb.Desktop.Machine().Exec(machine.Task{CPUGHzSec: 2000, Parallelism: 1})
+			})
+		}
+		tb.V.Sleep(time.Millisecond) // hogs admit themselves
+		row.Degraded, row.DegradedWall = batch(deg)
+
+		st := requester.OpStats()
+		row.ShardsExecuted = st.ShardsExecuted
+		row.OverlapSaved = st.OverlapSaved
+		row.SpecLaunches = st.SpecLaunches
+		row.SpecWins = st.SpecWins
+		row.SpecCancels = st.SpecCancels
+	})
+	if runErr != nil {
+		return ComputeScaleUpRow{}, runErr
+	}
+	return row, nil
+}
+
+// Row returns the (mode, workers) measurement, or false.
+func (r *ComputeScaleUpResult) Row(mode string, workers int) (ComputeScaleUpRow, bool) {
+	for _, row := range r.Rows {
+		if row.Mode == mode && row.Workers == workers {
+			return row, true
+		}
+	}
+	return ComputeScaleUpRow{}, false
+}
+
+// Table renders the sweep.
+func (r *ComputeScaleUpResult) Table() Table {
+	t := Table{
+		Title: "Concurrent compute plane: process latency vs workers (12 MB frec)",
+		Headers: []string{"Mode", "Workers", "Clean(s)", "Degraded(s)",
+			"Shards", "OverlapSaved(s)", "SpecW/L"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Mode,
+			fmt.Sprintf("%d", row.Workers),
+			Seconds(row.Clean.Mean),
+			Seconds(row.Degraded.Mean),
+			fmt.Sprintf("%d", row.ShardsExecuted),
+			Seconds(row.OverlapSaved),
+			fmt.Sprintf("%d/%d", row.SpecWins, row.SpecLaunches-row.SpecWins),
+		})
+	}
+	return t
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// smallComputeScaleUp keeps the sweep short for the unit tests while
+// still covering the 4-worker point the acceptance criteria target.
+func smallComputeScaleUp(seed int64) ComputeScaleUpConfig {
+	return ComputeScaleUpConfig{
+		Seed:      seed,
+		Workers:   []int{1, 4},
+		Requests:  2,
+		InputSize: 12 * MB,
+	}
+}
+
+func TestComputeScaleUpDeterministic(t *testing.T) {
+	a, err := RunComputeScaleUp(smallComputeScaleUp(2011))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunComputeScaleUp(smallComputeScaleUp(2011))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two seeded runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestComputeScaleUpSpeedupAndSpeculation(t *testing.T) {
+	res, err := RunComputeScaleUp(smallComputeScaleUp(2011))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, ok := res.Row("sequential", 1)
+	if !ok {
+		t.Fatal("sequential row missing")
+	}
+	ov4, ok := res.Row("sharded+overlap", 4)
+	if !ok {
+		t.Fatal("sharded+overlap/4 row missing")
+	}
+	// The headline acceptance number: sharded kernels plus
+	// move/execute overlap at 4 workers versus the paper's sequential
+	// path, on the clean batch.
+	speedup := float64(seq.Clean.Mean) / float64(ov4.Clean.Mean)
+	if speedup < 1.8 {
+		t.Errorf("clean speedup at 4 workers = %.2fx, want >= 1.8x (seq %v, overlap %v)",
+			speedup, seq.Clean.Mean, ov4.Clean.Mean)
+	}
+	if ov4.ShardsExecuted == 0 {
+		t.Error("sharded mode executed no shards")
+	}
+	if ov4.OverlapSaved <= 0 {
+		t.Error("overlap mode saved nothing")
+	}
+
+	// One worker must never regress the sequential model.
+	sh1, ok := res.Row("sharded", 1)
+	if !ok {
+		t.Fatal("sharded/1 row missing")
+	}
+	if sh1.Clean.Mean != seq.Clean.Mean {
+		t.Errorf("workers=1 changed the clean mean: %v vs %v", sh1.Clean.Mean, seq.Clean.Mean)
+	}
+
+	// Degraded phase: the hogged desktop slows the non-speculative
+	// modes, while the hedge onto the idle desktop recovers most of it.
+	if ov4.Degraded.Mean <= ov4.Clean.Mean {
+		t.Errorf("degradation invisible: degraded %v <= clean %v", ov4.Degraded.Mean, ov4.Clean.Mean)
+	}
+	spec4, ok := res.Row("sharded+overlap+spec", 4)
+	if !ok {
+		t.Fatal("spec/4 row missing")
+	}
+	if spec4.SpecLaunches == 0 {
+		t.Fatal("speculation never launched")
+	}
+	if spec4.SpecWins == 0 {
+		t.Error("the hedge never won despite the hogged primary")
+	}
+	if spec4.Degraded.Mean >= ov4.Degraded.Mean {
+		t.Errorf("speculation did not recover: spec degraded %v >= non-spec %v",
+			spec4.Degraded.Mean, ov4.Degraded.Mean)
+	}
+}

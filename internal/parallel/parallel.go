@@ -1,0 +1,94 @@
+// Package parallel provides the deterministic worker pool behind the
+// concurrent compute plane's sharded kernels. Work is split into a fixed
+// number of shards derived from the input size — never from the worker
+// count — and every shard writes its result into an indexed slot, so the
+// merged output is byte-identical to a sequential run at any worker
+// count. The pool itself is pure CPU: it never touches a clock, so it is
+// safe to drive from a virtual-clock worker (the pool goroutines finish
+// on their own and the caller's wait does not need the clock to advance).
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardBytes is the shard granularity: one shard per mebibyte of input.
+const shardBytes = 1 << 20
+
+// maxShards bounds the shard count so dispatch overhead stays small for
+// very large inputs.
+const maxShards = 64
+
+// ShardsFor returns the shard count for an input of the given size. The
+// count depends only on the size, so a task splits identically whatever
+// worker count later executes it.
+func ShardsFor(size int64) int {
+	if size <= 0 {
+		return 1
+	}
+	n := (size + shardBytes - 1) / shardBytes
+	if n > maxShards {
+		n = maxShards
+	}
+	return int(n)
+}
+
+// Run executes fn(shard) for every shard in [0, n), using at most
+// workers concurrent goroutines. workers ≤ 1 (or n ≤ 1) degrades to a
+// plain sequential loop. fn must confine its writes to per-shard state
+// (indexed result slots); Run returns only after every shard completed.
+func Run(workers, n int, fn func(shard int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Range returns the half-open slice [lo, hi) of total items owned by
+// shard i of n, splitting as evenly as possible with remainders spread
+// over the leading shards. Concatenating the ranges in shard order
+// reconstructs [0, total) exactly.
+func Range(total, n, i int) (lo, hi int) {
+	if n <= 0 || total <= 0 {
+		return 0, 0
+	}
+	base, rem := total/n, total%n
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

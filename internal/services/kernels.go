@@ -18,29 +18,44 @@ import (
 // ErrEmptyInput is returned when a kernel is given no data.
 var ErrEmptyInput = errors.New("services: empty input")
 
+// ErrEmptyTrainingSet is returned by face recognition when no training
+// images are installed at the processing site.
+var ErrEmptyTrainingSet = errors.New("services: empty training set")
+
+// errNoUsableTraining is returned when every training image is empty.
+var errNoUsableTraining = errors.New("services: training set had no usable images")
+
 // detectWindow is the sliding-window size used by DetectFaces.
 const detectWindow = 64
 
+// detectHit reports whether the window starting at off has the
+// "face-like" local-variance signature. Shared by the sequential and
+// sharded detectors so their arithmetic is identical bit for bit.
+func detectHit(data []byte, off int) bool {
+	w := data[off : off+detectWindow]
+	var sum, sumSq float64
+	for _, b := range w {
+		v := float64(b)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / detectWindow
+	variance := sumSq/detectWindow - mean*mean
+	// Mid-band variance: neither flat background nor pure noise.
+	return variance >= 1000 && variance <= 4200
+}
+
 // DetectFaces scans the payload with a sliding window and reports the
 // offsets whose local byte variance falls in the "face-like" band. The
-// result is deterministic in the input bytes.
+// result is deterministic in the input bytes. A payload shorter than one
+// window has no scannable window and yields no hits (not an error).
 func DetectFaces(data []byte) ([]int, error) {
 	if len(data) == 0 {
 		return nil, ErrEmptyInput
 	}
 	var hits []int
 	for off := 0; off+detectWindow <= len(data); off += detectWindow {
-		w := data[off : off+detectWindow]
-		var sum, sumSq float64
-		for _, b := range w {
-			v := float64(b)
-			sum += v
-			sumSq += v * v
-		}
-		mean := sum / detectWindow
-		variance := sumSq/detectWindow - mean*mean
-		// Mid-band variance: neither flat background nor pure noise.
-		if variance >= 1000 && variance <= 4200 {
+		if detectHit(data, off) {
 			hits = append(hits, off)
 		}
 	}
@@ -64,7 +79,7 @@ func RecognizeFace(probe []byte, training [][]byte) (int, error) {
 		return 0, ErrEmptyInput
 	}
 	if len(training) == 0 {
-		return 0, errors.New("services: empty training set")
+		return 0, ErrEmptyTrainingSet
 	}
 	ph := Histogram(probe)
 	// Normalise by length so images of different sizes compare fairly.
@@ -87,7 +102,7 @@ func RecognizeFace(probe []byte, training [][]byte) (int, error) {
 		}
 	}
 	if best == -1 {
-		return 0, errors.New("services: training set had no usable images")
+		return 0, errNoUsableTraining
 	}
 	return best, nil
 }

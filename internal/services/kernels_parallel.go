@@ -1,0 +1,154 @@
+package services
+
+import (
+	"encoding/binary"
+
+	"cloud4home/internal/parallel"
+)
+
+// The sharded kernel variants below split each computation into
+// independent shards executed by the deterministic parallel.Run pool.
+// The shard count is derived from the input size only (parallel.ShardsFor),
+// shard results land in indexed slots, and merges walk the slots in
+// shard order — so the output is byte-identical to the sequential kernel
+// at any worker count. workers ≤ 1 delegates to the sequential kernel
+// outright.
+
+// DetectFacesParallel is the sharded DetectFaces: contiguous ranges of
+// whole detection windows per shard (a window is never split across a
+// shard boundary), hit offsets concatenated in shard order.
+func DetectFacesParallel(data []byte, workers int) ([]int, error) {
+	if workers <= 1 {
+		return DetectFaces(data)
+	}
+	if len(data) == 0 {
+		return nil, ErrEmptyInput
+	}
+	nWin := len(data) / detectWindow
+	if nWin == 0 {
+		return nil, nil // shorter than one window: nothing to scan
+	}
+	shards := parallel.ShardsFor(int64(len(data)))
+	if shards > nWin {
+		shards = nWin
+	}
+	parts := make([][]int, shards)
+	parallel.Run(workers, shards, func(s int) {
+		lo, hi := parallel.Range(nWin, shards, s)
+		var hits []int
+		for w := lo; w < hi; w++ {
+			if off := w * detectWindow; detectHit(data, off) {
+				hits = append(hits, off)
+			}
+		}
+		parts[s] = hits
+	})
+	var out []int
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// HistogramParallel is the sharded Histogram: byte ranges per shard,
+// per-shard bins summed in shard order.
+func HistogramParallel(data []byte, workers int) [256]int {
+	if workers <= 1 || len(data) == 0 {
+		return Histogram(data)
+	}
+	shards := parallel.ShardsFor(int64(len(data)))
+	parts := make([][256]int, shards)
+	parallel.Run(workers, shards, func(s int) {
+		lo, hi := parallel.Range(len(data), shards, s)
+		for _, b := range data[lo:hi] {
+			parts[s][b]++
+		}
+	})
+	var h [256]int
+	for _, p := range parts {
+		for b, c := range p {
+			h[b] += c
+		}
+	}
+	return h
+}
+
+// RecognizeFaceParallel is the sharded RecognizeFace: one shard per
+// training image scores its distance independently; the merge walks the
+// scores in index order with a strict less-than, preserving the
+// sequential kernel's lowest-index tie break.
+func RecognizeFaceParallel(probe []byte, training [][]byte, workers int) (int, error) {
+	if workers <= 1 {
+		return RecognizeFace(probe, training)
+	}
+	if len(probe) == 0 {
+		return 0, ErrEmptyInput
+	}
+	if len(training) == 0 {
+		return 0, ErrEmptyTrainingSet
+	}
+	ph := HistogramParallel(probe, workers)
+	dists := make([]float64, len(training))
+	usable := make([]bool, len(training))
+	parallel.Run(workers, len(training), func(i int) {
+		img := training[i]
+		if len(img) == 0 {
+			return
+		}
+		th := Histogram(img)
+		var dist float64
+		for b := 0; b < 256; b++ {
+			d := float64(ph[b])/float64(len(probe)) - float64(th[b])/float64(len(img))
+			if d < 0 {
+				d = -d
+			}
+			dist += d
+		}
+		dists[i], usable[i] = dist, true
+	})
+	best, bestDist := -1, 0.0
+	for i := range training {
+		if !usable[i] {
+			continue
+		}
+		if best == -1 || dists[i] < bestDist {
+			best, bestDist = i, dists[i]
+		}
+	}
+	if best == -1 {
+		return 0, errNoUsableTraining
+	}
+	return best, nil
+}
+
+// ConvertVideoParallel is the sharded ConvertVideo: output byte ranges
+// per shard. Each output byte depends only on data[2j] and data[2j-2],
+// so shards read across their input boundary but write disjoint ranges
+// of the preallocated output.
+func ConvertVideoParallel(data []byte, workers int) ([]byte, error) {
+	if workers <= 1 {
+		return ConvertVideo(data)
+	}
+	if len(data) == 0 {
+		return nil, ErrEmptyInput
+	}
+	nOut := (len(data) + 1) / 2
+	out := make([]byte, 8+nOut)
+	binary.BigEndian.PutUint64(out[:8], uint64(len(data)))
+	shards := parallel.ShardsFor(int64(len(data)))
+	if shards > nOut {
+		shards = nOut
+	}
+	parallel.Run(workers, shards, func(s int) {
+		lo, hi := parallel.Range(nOut, shards, s)
+		for j := lo; j < hi; j++ {
+			cur := data[2*j]
+			var prev byte
+			if j > 0 {
+				prev = data[2*j-2]
+			}
+			out[8+j] = cur - prev
+		}
+	})
+	return out, nil
+}
