@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race check bench repro examples clean
+.PHONY: all build vet lint lint-typed test race check bench repro examples clean
 
-all: build vet lint test race
+all: build vet lint lint-typed test race
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,16 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific invariants: determinism (wallclock, globalrand),
-# lock discipline, the DESIGN.md import DAG, and goroutine hygiene.
-# Findings are fatal; see DESIGN.md "Static analysis & invariants".
+# Project-specific invariants, fast tier: parse-only rules (wallclock,
+# globalrand, lockdiscipline, layering, goroleak). Findings are fatal;
+# see DESIGN.md "Static analysis & invariants".
 lint:
-	$(GO) run ./cmd/c4h-vet ./...
+	$(GO) run ./cmd/c4h-vet -rule syntactic ./...
+
+# Slow tier: type-checks the module and runs the interprocedural rules
+# (lockorder, guardedfield, mapiter, chanhold) over the call graph.
+lint-typed:
+	$(GO) run ./cmd/c4h-vet -rule typed ./...
 
 test:
 	$(GO) test ./...
@@ -25,7 +30,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything CI runs, in CI's order.
-check: build vet lint test race
+check: build vet lint lint-typed test race
 
 # One iteration of every benchmark, with the paper-reproduction metrics.
 # The stream also lands, machine-readable, in BENCH_baseline.json.

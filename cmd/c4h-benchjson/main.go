@@ -23,15 +23,16 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 // Result is the whole converted stream.
 type Result struct {
-	GOOS   string  `json:"goos,omitempty"`
-	GOARCH string  `json:"goarch,omitempty"`
-	CPU    string  `json:"cpu,omitempty"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -158,7 +159,13 @@ func diffResults(oldRes, newRes *Result, threshold float64, all bool) (regs []Re
 		if !ok {
 			continue
 		}
-		for unit, ov := range ob.Metrics {
+		units := make([]string, 0, len(ob.Metrics))
+		for unit := range ob.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov := ob.Metrics[unit]
 			nv, ok := nb.Metrics[unit]
 			if !ok || ov == 0 {
 				continue

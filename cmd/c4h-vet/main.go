@@ -11,9 +11,17 @@
 // prefixes. An allowlist file (default .c4h-vet-allow at the module
 // root, if present) suppresses accepted findings; see
 // internal/analysis.Allowlist for the format.
+//
+// -rule selects a single rule ("lockorder"), a tier ("syntactic",
+// "typed"), or a comma-separated list; CI uses it to split the fast
+// parse-only pass from the type-checking interprocedural pass. -json
+// emits findings as a JSON array for log scraping. Exit codes are
+// unchanged by either flag: 0 clean, 1 findings, 2 usage/internal
+// error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +34,8 @@ import (
 func main() {
 	allowFlag := flag.String("allow", "", "allowlist file (default: .c4h-vet-allow at the module root, if present)")
 	list := flag.Bool("list", false, "list rules and exit")
+	ruleFlag := flag.String("rule", "", "run only these rules: an ID, \"syntactic\", \"typed\", or a comma-separated list")
+	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: c4h-vet [flags] [./... | path prefixes]\n")
 		flag.PrintDefaults()
@@ -33,6 +43,14 @@ func main() {
 	flag.Parse()
 
 	rules := analysis.DefaultRules()
+	if *ruleFlag != "" {
+		var err error
+		rules, err = analysis.SelectRules(*ruleFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "c4h-vet:", err)
+			os.Exit(2)
+		}
+	}
 	if *list {
 		for _, r := range rules {
 			fmt.Printf("%-16s %s\n", r.ID(), r.Doc())
@@ -40,13 +58,23 @@ func main() {
 		return
 	}
 
-	if err := run(rules, *allowFlag, flag.Args()); err != nil {
+	if err := run(rules, *allowFlag, *jsonFlag, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "c4h-vet:", err)
 		os.Exit(2)
 	}
 }
 
-func run(rules []analysis.Rule, allowFile string, args []string) error {
+// jsonDiag is the machine-readable rendering of one finding.
+type jsonDiag struct {
+	Rule       string `json:"rule"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+func run(rules []analysis.Rule, allowFile string, asJSON bool, args []string) error {
 	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		return err
@@ -76,8 +104,23 @@ func run(rules []analysis.Rule, allowFile string, args []string) error {
 	diags := allow.Filter(analysis.Run(m, rules))
 	diags = filterByPaths(diags, args)
 
-	for _, d := range diags {
-		fmt.Println(d)
+	if asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Rule: d.RuleID, File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Message: d.Message, Suggestion: d.Suggestion,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if n := len(diags); n > 0 {
 		fmt.Fprintf(os.Stderr, "c4h-vet: %d finding(s)\n", n)

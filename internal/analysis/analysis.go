@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one finding: where, which rule, what is wrong, and what
@@ -49,8 +50,9 @@ type Rule interface {
 	Check(m *Module) []Diagnostic
 }
 
-// DefaultRules returns every rule c4h-vet ships, in reporting order.
-func DefaultRules() []Rule {
+// SyntacticRules returns the parse-only rules: they need no type
+// information and run in well under a second.
+func SyntacticRules() []Rule {
 	return []Rule{
 		WallClock{},
 		GlobalRand{},
@@ -58,6 +60,52 @@ func DefaultRules() []Rule {
 		Layering{},
 		GoroLeak{},
 	}
+}
+
+// TypedRules returns the type-aware, interprocedural rules. They
+// type-check the module on first use (stdlib-only, via the source
+// importer) and share one call-graph/lock-flow pass.
+func TypedRules() []Rule {
+	return []Rule{
+		LockOrder{},
+		GuardedField{},
+		MapIter{},
+		ChanHold{},
+	}
+}
+
+// DefaultRules returns every rule c4h-vet ships, in reporting order:
+// the fast syntactic tier first, then the typed interprocedural tier.
+func DefaultRules() []Rule {
+	return append(SyntacticRules(), TypedRules()...)
+}
+
+// SelectRules resolves a rule selector: a rule ID, the group names
+// "syntactic" and "typed", or a comma-separated list of either.
+func SelectRules(selector string) ([]Rule, error) {
+	byID := map[string][]Rule{
+		"syntactic": SyntacticRules(),
+		"typed":     TypedRules(),
+	}
+	for _, r := range DefaultRules() {
+		byID[r.ID()] = []Rule{r}
+	}
+	var out []Rule
+	for _, id := range strings.Split(selector, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		rs, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (see -list)", id)
+		}
+		out = append(out, rs...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty rule selector %q", selector)
+	}
+	return out, nil
 }
 
 // Run executes the rules over the module and returns the findings

@@ -28,6 +28,10 @@ var fixtureRules = map[string]Rule{
 	"lockdiscipline": LockDiscipline{},
 	"layering":       Layering{},
 	"goroleak":       GoroLeak{},
+	"lockorder":      LockOrder{},
+	"guardedfield":   GuardedField{},
+	"mapiter":        MapIter{},
+	"chanhold":       ChanHold{},
 }
 
 func TestFixtures(t *testing.T) {

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FuncInfo is one declared function or method of the module, the unit
+// the interprocedural rules reason about.
+type FuncInfo struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	File *File
+	Pkg  *Package
+}
+
+// CallGraph indexes the module's function declarations by their type
+// objects, so a resolved call site can be followed into the callee's
+// body. Dynamic calls (interface methods, stored closures) resolve to
+// nothing and the rules treat them conservatively.
+type CallGraph struct {
+	// Funcs holds every declared function, in deterministic
+	// (package, file, position) order.
+	Funcs []*FuncInfo
+	// ByObj maps a function object to its declaration info.
+	ByObj map[*types.Func]*FuncInfo
+}
+
+// buildCallGraph collects every non-test function declaration.
+func buildCallGraph(m *Module, ti *TypeInfo) *CallGraph {
+	cg := &CallGraph{ByObj: map[*types.Func]*FuncInfo{}}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := ti.Info.Defs[fn.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				fi := &FuncInfo{Obj: obj, Decl: fn, File: f, Pkg: pkg}
+				cg.Funcs = append(cg.Funcs, fi)
+				cg.ByObj[obj] = fi
+			}
+		}
+	}
+	return cg
+}
+
+// calleeOf resolves a call expression to the function object it
+// statically invokes: a plain function, a method (including promoted
+// methods), or a package-qualified function. Calls through interfaces
+// or function values return nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				// An interface-method selection has no body to follow.
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); !isIface {
+					return f
+				}
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // pkg.Func
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders a function object for diagnostics, with the
+// module path stripped so witness chains stay readable:
+// "core.(*Node).Process", "parallel.Run".
+func funcDisplayName(modPath string, obj *types.Func) string {
+	if obj == nil {
+		return "func literal"
+	}
+	name := obj.FullName()
+	name = strings.ReplaceAll(name, modPath+"/internal/", "")
+	name = strings.ReplaceAll(name, modPath+"/", "")
+	return name
+}

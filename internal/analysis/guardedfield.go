@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// GuardedField enforces `// guarded by <mu>` annotations on struct
+// fields: every read or write of an annotated field must happen with
+// the named mutex held. The check is type-aware and interprocedural:
+//
+//   - within a function, the held set is tracked precisely per mutex
+//     *instance* ("c.mu"), so an access through base `c` needs `c.mu`
+//     (or the same lock class, for aliased bases) held at that point;
+//   - a helper that is only ever called with the guard held — the
+//     fooLocked convention — is accepted via the entry-held sets
+//     propagated along the call graph (the intersection of the lock
+//     classes held at every in-module call site);
+//   - accesses through a local that still holds a freshly-constructed
+//     value (&T{…}, new(T)) are exempt: the constructor pattern runs
+//     before the value is shared.
+//
+// Either the write lock or the read lock of an RWMutex satisfies the
+// guard; distinguishing read-vs-write access is future work.
+type GuardedField struct{}
+
+// ID implements Rule.
+func (GuardedField) ID() string { return "guardedfield" }
+
+// Doc implements Rule.
+func (GuardedField) Doc() string {
+	return "fields annotated `// guarded by <mu>` are only touched with that mutex held (interprocedural)"
+}
+
+// Check implements Rule.
+func (GuardedField) Check(m *Module) []Diagnostic {
+	lf, err := m.lockFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("guardedfield", err)}
+	}
+	var ds []Diagnostic
+	for _, sum := range lf.allSummaries() {
+		for _, a := range sum.accesses {
+			guard := lf.guarded[a.field]
+			if guard == "" || a.fresh {
+				continue
+			}
+			// Instance-precise: base "c" accessing c.items needs "c.mu".
+			wantInst := a.inst + "." + guard
+			ok := false
+			for _, h := range a.held {
+				if h.inst == wantInst {
+					ok = true
+					break
+				}
+			}
+			// Class-level fallback: the same lock class held through an
+			// alias, or guaranteed at entry by every caller.
+			guardClass := ""
+			if owner := lf.owners[a.field]; owner != "" {
+				guardClass = owner + "." + guard
+			}
+			if !ok && guardClass != "" {
+				for _, h := range a.held {
+					if h.class == guardClass {
+						ok = true
+						break
+					}
+				}
+				if !ok && sum.entryHeld[guardClass] {
+					ok = true
+				}
+			}
+			if ok {
+				continue
+			}
+			ds = append(ds, Diagnostic{
+				RuleID: "guardedfield",
+				Pos:    position(m, a.pos),
+				Message: fmt.Sprintf("%s.%s is guarded by %s, which is not held here (in %s)",
+					a.inst, a.field.Name(), wantInst, sum.name),
+				Suggestion: fmt.Sprintf("acquire %s first, or call through a helper only reached with it held", wantInst),
+			})
+		}
+	}
+	return ds
+}

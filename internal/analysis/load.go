@@ -40,6 +40,11 @@ type Module struct {
 	Root     string
 	Fset     *token.FileSet
 	Packages []*Package
+
+	// typed caches the go/types check of the module (see Types).
+	typed *typedResult
+	// flow caches the lock-flow summaries built on top of it.
+	flow *lockFlowResult
 }
 
 // FindModuleRoot walks upward from dir until it finds go.mod.

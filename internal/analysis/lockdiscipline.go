@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 )
 
 // LockDiscipline enforces the locking rules the concurrency-heavy
@@ -421,16 +422,8 @@ func heldNames(st lockState) string {
 	if len(names) == 1 {
 		return names[0]
 	}
-	sortStrings(names)
+	sort.Strings(names)
 	return names[0] + " (and others)"
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // checkExpr scans an expression for lock transitions, blocking

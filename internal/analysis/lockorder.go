@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder detects potential deadlocks from inconsistent lock
+// acquisition order. It builds a lock-acquisition graph over lock
+// *classes* (type-level mutex identities, see locktrack.go): an edge
+// A → B means some execution path acquires B while holding A, either
+// directly or through a chain of calls — held-lock sets are propagated
+// along the call graph, so a function that locks A and then calls into
+// a helper that locks B contributes the same edge as one that locks
+// both itself. A cycle among two or more classes means two executions
+// can acquire the same pair of locks in opposite orders and deadlock;
+// the diagnostic carries the witness call chain for every edge of the
+// cycle.
+//
+// Self-edges (two instances of the same class) are deliberately
+// ignored: instance-level re-locking is lockdiscipline's job, and
+// distinct instances of one struct type locking each other in a fixed
+// global order is the codebase's documented pattern.
+type LockOrder struct{}
+
+// ID implements Rule.
+func (LockOrder) ID() string { return "lockorder" }
+
+// Doc implements Rule.
+func (LockOrder) Doc() string {
+	return "lock acquisition order must be acyclic across the call graph (type-aware deadlock detection)"
+}
+
+// lockEdge is one "B acquired while A held" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos // where B is acquired (or the call leading to it)
+	heldAt   token.Pos // where A was acquired
+	chain    []string  // call chain from the observing function to the acquisition
+}
+
+// Check implements Rule.
+func (LockOrder) Check(m *Module) []Diagnostic {
+	lf, err := m.lockFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("lockorder", err)}
+	}
+
+	// Collect edges: direct acquisitions under held locks, and calls
+	// under held locks into functions that transitively acquire.
+	edges := map[string]lockEdge{} // keyed from+"→"+to, first witness wins
+	addEdge := func(e lockEdge) {
+		if e.from == e.to {
+			return
+		}
+		key := e.from + "\x00" + e.to
+		if _, ok := edges[key]; !ok {
+			edges[key] = e
+		}
+	}
+	for _, sum := range lf.allSummaries() {
+		for _, a := range sum.acquires {
+			for _, h := range a.held {
+				addEdge(lockEdge{
+					from: h.class, to: a.class,
+					pos: a.pos, heldAt: h.pos,
+					chain: []string{sum.name},
+				})
+			}
+		}
+		for _, c := range sum.calls {
+			callee := lf.calleeSummary(c)
+			if callee == nil || len(c.held) == 0 {
+				continue
+			}
+			for _, class := range sortedAcqKeys(callee.transAcq) {
+				wit := callee.transAcq[class]
+				for _, h := range c.held {
+					addEdge(lockEdge{
+						from: h.class, to: class,
+						pos: c.pos, heldAt: h.pos,
+						chain: append([]string{sum.name}, wit.chain...),
+					})
+				}
+			}
+		}
+	}
+
+	// Find cycles: strongly connected components with ≥ 2 classes.
+	adj := map[string][]string{}
+	for _, key := range sortedEdgeKeys(edges) {
+		e := edges[key]
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	var ds []Diagnostic
+	for _, scc := range stronglyConnected(adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		cycle := reconstructCycle(scc, adj)
+		if len(cycle) == 0 {
+			continue
+		}
+		// Render the cycle and each hop's witness.
+		var hops []string
+		var first *lockEdge
+		for i := range cycle {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			e, ok := edges[from+"\x00"+to]
+			if !ok {
+				continue
+			}
+			if first == nil {
+				cp := e
+				first = &cp
+			}
+			hops = append(hops, fmt.Sprintf("%s→%s via %s (%s)",
+				from, to, strings.Join(e.chain, " → "), position(m, e.pos)))
+		}
+		if first == nil {
+			continue
+		}
+		ds = append(ds, Diagnostic{
+			RuleID: "lockorder",
+			Pos:    position(m, first.pos),
+			Message: fmt.Sprintf("lock-order cycle %s → %s: %s",
+				strings.Join(cycle, " → "), cycle[0], strings.Join(hops, "; ")),
+			Suggestion: "impose a single acquisition order (or release the first lock before taking the second)",
+		})
+	}
+	return ds
+}
+
+// typeErrorDiag reports a failed module type-check as a single finding,
+// so typed rules degrade loudly rather than silently passing.
+func typeErrorDiag(ruleID string, err error) Diagnostic {
+	return Diagnostic{
+		RuleID:     ruleID,
+		Pos:        token.Position{Filename: "go.mod", Line: 1, Column: 1},
+		Message:    fmt.Sprintf("module does not type-check: %v", err),
+		Suggestion: "fix the build first; typed rules need go/types",
+	}
+}
+
+func sortedEdgeKeys(edges map[string]lockEdge) []string {
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// stronglyConnected returns the SCCs of the class graph (Tarjan),
+// deterministically ordered, each SCC's members sorted.
+func stronglyConnected(adj map[string][]string) [][]string {
+	nodes := map[string]bool{}
+	for from, tos := range adj {
+		nodes[from] = true
+		for _, t := range tos {
+			nodes[t] = true
+		}
+	}
+	order := sortedKeys(nodes)
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		tos := append([]string(nil), adj[v]...)
+		sort.Strings(tos)
+		for _, wnode := range tos {
+			if _, seen := index[wnode]; !seen {
+				strong(wnode)
+				if low[wnode] < low[v] {
+					low[v] = low[wnode]
+				}
+			} else if onStack[wnode] && index[wnode] < low[v] {
+				low[v] = index[wnode]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[n] = false
+				scc = append(scc, n)
+				if n == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+// reconstructCycle finds one directed cycle through the SCC, starting
+// at its smallest member.
+func reconstructCycle(scc []string, adj map[string][]string) []string {
+	in := map[string]bool{}
+	for _, n := range scc {
+		in[n] = true
+	}
+	start := scc[0]
+	var path []string
+	seen := map[string]bool{}
+	var dfs func(v string) bool
+	dfs = func(v string) bool {
+		path = append(path, v)
+		seen[v] = true
+		tos := append([]string(nil), adj[v]...)
+		sort.Strings(tos)
+		for _, t := range tos {
+			if !in[t] {
+				continue
+			}
+			if t == start && len(path) > 1 {
+				return true
+			}
+			if !seen[t] {
+				if dfs(t) {
+					return true
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(start) {
+		return path
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// MapIter guards the bit-identical-rerun guarantee against Go's
+// randomised map iteration order. Ranging over a map is fine while the
+// loop only does order-insensitive work (summing, inserting into
+// another map, searching with deterministic outcome); it becomes a
+// reproducibility bug the moment the iteration *order* can reach an
+// observable output. The rule does a local dataflow walk over each
+// range-over-map body and flags:
+//
+//   - appends to a slice declared outside the loop that is never sorted
+//     later in the same function — the order of the slice is then the
+//     map's random order (collect-then-sort is the accepted pattern and
+//     stays silent);
+//   - direct emission inside the loop body: fmt Print/Fprint family and
+//     calls into internal/trace, whose event stream experiments compare
+//     run-to-run;
+//   - channel sends inside the loop body — the receiver observes the
+//     random order.
+//
+// The rule is type-aware: only genuine map ranges are considered (not
+// slices that a syntactic checker might confuse), and sort calls are
+// recognised through the sort and slices packages.
+type MapIter struct{}
+
+// ID implements Rule.
+func (MapIter) ID() string { return "mapiter" }
+
+// Doc implements Rule.
+func (MapIter) Doc() string {
+	return "map iteration order must not reach outputs: sort before appending, emitting, or sending"
+}
+
+// Check implements Rule.
+func (MapIter) Check(m *Module) []Diagnostic {
+	ti, err := m.Types()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("mapiter", err)}
+	}
+	cg := buildCallGraph(m, ti)
+	var ds []Diagnostic
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			for _, decl := range f.AST.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				ds = append(ds, checkMapRanges(m, ti, cg, fn)...)
+			}
+		}
+	}
+	return ds
+}
+
+// checkMapRanges scans one function for range-over-map hazards.
+func checkMapRanges(m *Module, ti *TypeInfo, cg *CallGraph, fn *ast.FuncDecl) []Diagnostic {
+	var ds []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := ti.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		mapName := exprString(rs.X)
+		ds = append(ds, checkMapBody(m, ti, cg, fn, rs, mapName)...)
+		return true
+	})
+	return ds
+}
+
+func checkMapBody(m *Module, ti *TypeInfo, cg *CallGraph, fn *ast.FuncDecl, rs *ast.RangeStmt, mapName string) []Diagnostic {
+	var ds []Diagnostic
+	report := func(pos ast.Node, what string) {
+		ds = append(ds, Diagnostic{
+			RuleID:     "mapiter",
+			Pos:        position(m, pos.Pos()),
+			Message:    fmt.Sprintf("iteration order of map %s flows into %s", mapName, what),
+			Suggestion: "map iteration order is randomised; collect keys, sort, then iterate deterministically",
+		})
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				// A nested map range reports for itself.
+				if tv, ok := ti.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						return true
+					}
+				}
+			}
+		case *ast.SendStmt:
+			report(n, "a channel send")
+			return false
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(ti, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := ti.Info.Uses[target]
+				if obj == nil {
+					obj = ti.Info.Defs[target]
+				}
+				// Only appends to slices declared before the loop carry the
+				// order out of it.
+				if obj == nil || obj.Pos() >= rs.Pos() {
+					continue
+				}
+				if sortedAfter(ti, cg, fn, rs, obj) {
+					continue
+				}
+				report(n, fmt.Sprintf("append to %s, which is never sorted afterwards", target.Name))
+			}
+		case *ast.CallExpr:
+			if what := emitCallKind(m, ti, n); what != "" {
+				report(n, what)
+				return false
+			}
+		}
+		return true
+	})
+	return ds
+}
+
+// isBuiltinAppend matches the append builtin.
+func isBuiltinAppend(ti *TypeInfo, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := ti.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+// sortedAfter reports whether the variable is passed to a sorting call
+// after the loop ends, anywhere in the function — the collect-then-sort
+// pattern. A sorting call is one into the sort or slices packages, or a
+// module-internal helper (sortRouters-style) whose own body calls into
+// them.
+func sortedAfter(ti *TypeInfo, cg *CallGraph, fn *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found || n == nil || n.Pos() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(ti.Info, call)
+		if !isSortingFunc(ti, cg, callee) {
+			return true
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && ti.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortingFunc recognises sort/slices package functions and, one call
+// level deep, module-internal helpers that invoke them.
+func isSortingFunc(ti *TypeInfo, cg *CallGraph, callee *types.Func) bool {
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	switch callee.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	fi, ok := cg.ByObj[callee]
+	if !ok {
+		return false
+	}
+	sorts := false
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !sorts
+		}
+		if inner := calleeOf(ti.Info, call); inner != nil && inner.Pkg() != nil {
+			switch inner.Pkg().Path() {
+			case "sort", "slices":
+				sorts = true
+			}
+		}
+		return !sorts
+	})
+	return sorts
+}
+
+// emitCallKind classifies calls whose arguments become externally
+// visible in call order: the fmt print family and the project's trace
+// emitter.
+func emitCallKind(m *Module, ti *TypeInfo, call *ast.CallExpr) string {
+	callee := calleeOf(ti.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	switch callee.Pkg().Path() {
+	case "fmt":
+		switch callee.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return "fmt output (" + callee.Name() + ")"
+		}
+	case m.Path + "/internal/trace":
+		return "the trace event stream (trace." + callee.Name() + ")"
+	}
+	return ""
+}

@@ -37,7 +37,10 @@ func TestRepositoryIsClean(t *testing.T) {
 // TestRuleMetadata pins rule IDs (allowlists and CI logs depend on
 // them) and requires every rule to document itself.
 func TestRuleMetadata(t *testing.T) {
-	want := []string{"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak"}
+	want := []string{
+		"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak",
+		"lockorder", "guardedfield", "mapiter", "chanhold",
+	}
 	rules := DefaultRules()
 	if len(rules) != len(want) {
 		t.Fatalf("DefaultRules() has %d rules, want %d", len(rules), len(want))

@@ -1,0 +1,26 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// A mutex held across a call chain that blocks on a channel: the lock
+// holder stalls for as long as the receiver takes to drain.
+package fixture
+
+import "sync"
+
+type mailbox struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *mailbox) Post(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deliver(v) // want "may block on a channel"
+}
+
+func (b *mailbox) deliver(v int) {
+	b.forward(v)
+}
+
+func (b *mailbox) forward(v int) {
+	b.ch <- v
+}

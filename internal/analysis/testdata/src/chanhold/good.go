@@ -1,0 +1,41 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// Clean shapes: the lock is released before the blocking call, and a
+// select with a default clause never blocks.
+package fixture
+
+import "sync"
+
+type postbox struct {
+	mu   sync.Mutex
+	next int
+	ch   chan int
+}
+
+func (b *postbox) Post() {
+	b.mu.Lock()
+	v := b.next
+	b.next++
+	b.mu.Unlock()
+	b.deliver(v)
+}
+
+func (b *postbox) deliver(v int) {
+	b.ch <- v
+}
+
+func (b *postbox) TryPost(v int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.offer(v)
+}
+
+// offer never blocks: the select has a default clause.
+func (b *postbox) offer(v int) bool {
+	select {
+	case b.ch <- v:
+		return true
+	default:
+		return false
+	}
+}

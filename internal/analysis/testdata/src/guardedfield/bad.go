@@ -1,0 +1,32 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// Unguarded touches of an annotated field: a direct read without the
+// mutex, and a helper that is reachable without the guard held.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) Peek() int {
+	return c.n // want "guarded by"
+}
+
+func (c *counter) bump() {
+	c.n++ // want "guarded by"
+}
+
+func (c *counter) Bump() {
+	// No lock here, so bump's entry-held set is empty and the write
+	// inside it is flagged.
+	c.bump()
+}

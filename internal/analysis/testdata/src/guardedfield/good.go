@@ -1,0 +1,37 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// Clean guarded-field usage: accesses under the lock, the fooLocked
+// convention (helper only called with the guard held), and the
+// fresh-constructor exemption.
+package fixture
+
+import "sync"
+
+type gauge struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func newGauge(start int) *gauge {
+	g := &gauge{}
+	g.v = start // fresh local: constructor-private, exempt
+	return g
+}
+
+func (g *gauge) Set(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+}
+
+func (g *gauge) Add(d int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.addLocked(d)
+}
+
+// addLocked is only called with g.mu held, so its accesses are clean
+// via the propagated entry-held set.
+func (g *gauge) addLocked(d int) {
+	g.v += d
+}

@@ -1,0 +1,34 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// A seeded lock-order inversion: one path locks A then (through a
+// helper) B, another locks B then A directly. The cycle is reported
+// with the witness call chain for each edge.
+package fixture
+
+import "sync"
+
+type accountA struct{ mu sync.Mutex }
+
+type accountB struct{ mu sync.Mutex }
+
+var regA accountA
+
+var regB accountB
+
+func lockAThenB() {
+	regA.mu.Lock()
+	defer regA.mu.Unlock()
+	lockBHelper() // want "lock-order cycle"
+}
+
+func lockBHelper() {
+	regB.mu.Lock()
+	defer regB.mu.Unlock()
+}
+
+func lockBThenA() {
+	regB.mu.Lock()
+	defer regB.mu.Unlock()
+	regA.mu.Lock()
+	regA.mu.Unlock()
+}

@@ -1,0 +1,33 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// Consistent acquisition order: every path that holds both locks takes
+// A before B, so the acquisition graph is acyclic.
+package fixture
+
+import "sync"
+
+type tierA struct{ mu sync.Mutex }
+
+type tierB struct{ mu sync.Mutex }
+
+var top tierA
+
+var bottom tierB
+
+func doBoth() {
+	top.mu.Lock()
+	defer top.mu.Unlock()
+	refreshBottom()
+}
+
+func refreshBottom() {
+	bottom.mu.Lock()
+	defer bottom.mu.Unlock()
+}
+
+func alsoBoth() {
+	top.mu.Lock()
+	bottom.mu.Lock()
+	bottom.mu.Unlock()
+	top.mu.Unlock()
+}

@@ -1,0 +1,27 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// Map iteration order escaping to observable outputs: an unsorted
+// returned slice, direct fmt emission, and a channel send.
+package fixture
+
+import "fmt"
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out"
+	}
+	return out
+}
+
+func dumpUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt output"
+	}
+}
+
+func sendUnsorted(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send"
+	}
+}

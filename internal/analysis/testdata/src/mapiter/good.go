@@ -1,0 +1,45 @@
+//c4hvet:pkg cloud4home/internal/fixture
+
+// Deterministic map consumption: collect-then-sort (directly and via a
+// module-internal sorting helper), and order-insensitive reduction.
+package fixture
+
+import "sort"
+
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func keysViaHelper(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortNames(out)
+	return out
+}
+
+func sortNames(s []string) {
+	sort.Strings(s)
+}
+
+func total(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

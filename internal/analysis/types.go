@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/types"
+	"sort"
+)
+
+// TypeInfo is the go/types view of a Module: every non-test file of
+// every package type-checked, with one merged types.Info so rules can
+// resolve any identifier, selection, or expression type without caring
+// which package it came from. The typed rules (lockorder, guardedfield,
+// mapiter, chanhold) build on it; the syntactic rules never touch it,
+// so `c4h-vet -rule syntactic` stays parse-only fast.
+//
+// Type-checking stays stdlib-only: module-internal imports resolve to
+// the packages checked here, and standard-library imports resolve
+// through go/importer's source importer (type-checking GOROOT sources
+// directly), so no compiled export data or external tooling is needed.
+type TypeInfo struct {
+	// Info holds merged type facts for all checked files.
+	Info *types.Info
+	// Pkgs maps full import paths of module packages to their checked
+	// package objects.
+	Pkgs map[string]*types.Package
+}
+
+// Types type-checks the module's non-test files on first use and caches
+// the result; later calls are free. Test files are excluded: the typed
+// rules skip them anyway (mirroring the syntactic rules), and excluding
+// them keeps external _test packages from complicating the check.
+func (m *Module) Types() (*TypeInfo, error) {
+	if m.typed == nil {
+		ti, err := typeCheck(m)
+		m.typed = &typedResult{info: ti, err: err}
+	}
+	return m.typed.info, m.typed.err
+}
+
+// typedResult caches the outcome of typeCheck on the Module.
+type typedResult struct {
+	info *TypeInfo
+	err  error
+}
+
+// nonTestFiles returns the package's non-test ASTs, in File order.
+func nonTestFiles(p *Package) []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		if !f.Test {
+			out = append(out, f.AST)
+		}
+	}
+	return out
+}
+
+// moduleImporter resolves module-internal imports to already-checked
+// packages and defers everything else (the standard library) to the
+// source importer.
+type moduleImporter struct {
+	pkgs map[string]*types.Package
+	std  types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.pkgs[path]; ok {
+		return p, nil
+	}
+	return mi.std.Import(path)
+}
+
+// typeCheck checks every package in dependency order.
+func typeCheck(m *Module) (*TypeInfo, error) {
+	ti := &TypeInfo{
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+		Pkgs: map[string]*types.Package{},
+	}
+	mi := &moduleImporter{pkgs: ti.Pkgs, std: importer.ForCompiler(m.Fset, "source", nil)}
+	conf := types.Config{Importer: mi}
+
+	for _, p := range topoPackages(m) {
+		files := nonTestFiles(p)
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := conf.Check(p.Path, m.Fset, files, ti.Info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.Path, err)
+		}
+		ti.Pkgs[p.Path] = pkg
+	}
+	return ti, nil
+}
+
+// topoPackages orders the module's packages so every in-module import
+// is checked before its importer. Ties (and independent packages) stay
+// in path order, so checking is deterministic.
+func topoPackages(m *Module) []*Package {
+	byPath := make(map[string]*Package, len(m.Packages))
+	for _, p := range m.Packages {
+		byPath[p.Path] = p
+	}
+	var order []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if state[p.Path] != 0 {
+			return // visiting (cycle: the checker will report it) or done
+		}
+		state[p.Path] = 1
+		deps := map[string]bool{}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			for _, imp := range imports(f.AST) {
+				if _, internal := relPkg(m.Path, imp); internal && imp != p.Path {
+					deps[imp] = true
+				}
+			}
+		}
+		for _, dep := range sortedKeys(deps) {
+			if dp, ok := byPath[dep]; ok {
+				visit(dp)
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+	}
+	for _, p := range m.Packages {
+		visit(p)
+	}
+	return order
+}
+
+// sortedKeys returns a map's keys in sorted order, so code that ranges
+// over set-shaped maps stays deterministic.
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

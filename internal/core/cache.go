@@ -20,9 +20,9 @@ import (
 type dataCache struct {
 	mu    sync.Mutex
 	cap   int64
-	used  int64
-	order *list.List // front = most recently used
-	items map[string]*list.Element
+	used  int64                    // guarded by mu
+	order *list.List               // guarded by mu; front = most recently used
+	items map[string]*list.Element // guarded by mu
 }
 
 type cacheEntry struct {

@@ -198,27 +198,18 @@ func (n *Node) executeDecided(dec Decision, spec services.Spec, meta ObjectMeta)
 	}
 
 	n.ops.specLaunches.Add(1)
-	type outcome struct {
-		secondary bool
-		res       ProcessResult
-		err       error
-		at        time.Time
-	}
 	// The hedges publish their outcomes while still registered with the
 	// clock, and the parent polls the slot as a registered worker too —
 	// no deregistered wake-ups, so the winner is deterministic.
-	var mu sync.Mutex
-	var outs []outcome
+	slot := &specSlot{}
 	var cancelPrimary, cancelSecondary atomic.Bool
-	record := func(o outcome) {
+	record := func(o specOutcome) {
 		o.at = n.clock.Now()
-		mu.Lock()
-		outs = append(outs, o)
-		mu.Unlock()
+		slot.publish(o)
 	}
 	n.spawn(func() {
 		res, err := n.executeAtCancellable(dec.Chosen.Addr, spec, meta, &cancelPrimary)
-		record(outcome{secondary: false, res: res, err: err})
+		record(specOutcome{secondary: false, res: res, err: err})
 	})
 	n.spawn(func() {
 		// The stagger is this goroutine's first event, so the hedges
@@ -226,21 +217,19 @@ func (n *Node) executeDecided(dec Decision, spec services.Spec, meta ObjectMeta)
 		n.clock.Sleep(delay)
 		if cancelSecondary.Load() {
 			n.ops.specCancels.Add(1)
-			record(outcome{secondary: true, err: errSpeculationCancelled})
+			record(specOutcome{secondary: true, err: errSpeculationCancelled})
 			return
 		}
 		res, err := n.executeAtCancellable(second.Addr, spec, meta, &cancelSecondary)
-		record(outcome{secondary: true, res: res, err: err})
+		record(specOutcome{secondary: true, res: res, err: err})
 	})
 
 	// Poll until a hedge succeeds or both have settled. The tick bounds
 	// the extra latency added to the winner's observed total.
 	const specPollTick = time.Millisecond
 	for {
-		mu.Lock()
-		snap := append([]outcome(nil), outs...)
-		mu.Unlock()
-		var win *outcome
+		snap := slot.snapshot()
+		var win *specOutcome
 		for i := range snap {
 			o := &snap[i]
 			if o.err != nil {
@@ -274,6 +263,34 @@ func (n *Node) executeDecided(dec Decision, spec services.Spec, meta ObjectMeta)
 		}
 		n.clock.Sleep(specPollTick)
 	}
+}
+
+// specOutcome is one hedge's published result, stamped with the virtual
+// time it settled.
+type specOutcome struct {
+	secondary bool
+	res       ProcessResult
+	err       error
+	at        time.Time
+}
+
+// specSlot is the outcome slot both hedges publish into and the parent
+// polls; see executeDecided.
+type specSlot struct {
+	mu   sync.Mutex
+	outs []specOutcome // guarded by mu
+}
+
+func (s *specSlot) publish(o specOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.outs = append(s.outs, o)
+}
+
+func (s *specSlot) snapshot() []specOutcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]specOutcome(nil), s.outs...)
 }
 
 // runnerUp applies the decision policy to the non-chosen candidates.

@@ -98,9 +98,9 @@ type Node struct {
 	dataCache *dataCache // dom0 payload cache; nil when disabled
 
 	mu       sync.Mutex
-	deployed map[ids.ID]services.Spec // services runnable on this node
-	training [][]byte                 // local face-recognition training set
-	domains  uint16                   // next guest domain ID
+	deployed map[ids.ID]services.Spec // guarded by mu; services runnable on this node
+	training [][]byte                 // guarded by mu; local face-recognition training set
+	domains  uint16                   // guarded by mu; next guest domain ID
 
 	wg sync.WaitGroup // in-flight non-blocking operations
 

@@ -32,7 +32,10 @@ type OpStats struct {
 	SpecCancels  int64
 }
 
-// opCounters is the node-internal atomic representation.
+// opCounters is the node-internal atomic representation. The counters
+// are lock-free by design — hot paths bump them without a mutex — so
+// the `// guarded by` convention does not apply here; atomicity is the
+// whole discipline.
 type opCounters struct {
 	stores         atomic.Int64
 	fetches        atomic.Int64

@@ -35,10 +35,10 @@ type Server struct {
 	home *core.Home
 
 	mu       sync.Mutex
-	ln       net.Listener
-	sessions map[string]*core.Session // one per home node, lazily opened
+	ln       net.Listener             // guarded by mu
+	sessions map[string]*core.Session // guarded by mu; one per home node, lazily opened
 	conns    sync.WaitGroup
-	closed   bool
+	closed   bool // guarded by mu
 
 	// opMu serializes operations: sessions are single-threaded, like the
 	// prototype's per-VM command loop.
@@ -310,15 +310,15 @@ func (s *Server) dispatch(conn net.Conn, pkt *command.Packet) error {
 		for _, n := range s.home.Nodes() {
 			ops := n.OpStats()
 			out.Nodes = append(out.Nodes, nodeStats{
-				Addr:         n.Addr(),
-				Stores:       ops.Stores,
-				Fetches:      ops.Fetches,
-				Processes:    ops.Processes,
-				Deletes:      ops.Deletes,
-				BytesStored:  ops.BytesStored,
-				BytesFetched: ops.BytesFetched,
-				CPULoad:      n.Machine().Load(),
-				MemFreeMB:    n.Machine().MemFreeMB(),
+				Addr:           n.Addr(),
+				Stores:         ops.Stores,
+				Fetches:        ops.Fetches,
+				Processes:      ops.Processes,
+				Deletes:        ops.Deletes,
+				BytesStored:    ops.BytesStored,
+				BytesFetched:   ops.BytesFetched,
+				CPULoad:        n.Machine().Load(),
+				MemFreeMB:      n.Machine().MemFreeMB(),
 				ShardsExecuted: ops.ShardsExecuted,
 				OverlapSavedMS: ops.OverlapSaved.Milliseconds(),
 				SpecLaunches:   ops.SpecLaunches,
@@ -560,15 +560,15 @@ func (c *Client) Stats() ([]NodeStats, error) {
 	out := make([]NodeStats, len(body.Nodes))
 	for i, n := range body.Nodes {
 		out[i] = NodeStats{
-			Addr:         n.Addr,
-			Stores:       n.Stores,
-			Fetches:      n.Fetches,
-			Processes:    n.Processes,
-			Deletes:      n.Deletes,
-			BytesStored:  n.BytesStored,
-			BytesFetched: n.BytesFetched,
-			CPULoad:      n.CPULoad,
-			MemFreeMB:    n.MemFreeMB,
+			Addr:           n.Addr,
+			Stores:         n.Stores,
+			Fetches:        n.Fetches,
+			Processes:      n.Processes,
+			Deletes:        n.Deletes,
+			BytesStored:    n.BytesStored,
+			BytesFetched:   n.BytesFetched,
+			CPULoad:        n.CPULoad,
+			MemFreeMB:      n.MemFreeMB,
 			ShardsExecuted: n.ShardsExecuted,
 			OverlapSaved:   time.Duration(n.OverlapSavedMS) * time.Millisecond,
 			SpecLaunches:   n.SpecLaunches,

@@ -157,22 +157,11 @@ func runFig6Point(cfg Fig6Config, remotePct, threads int) (float64, error) {
 			}
 		}()
 
-		var mu sync.Mutex
-		next := 0
-		takeJob := func() (int, bool) {
-			mu.Lock()
-			defer mu.Unlock()
-			if next >= len(tr.Files) {
-				return 0, false
-			}
-			j := next
-			next++
-			return j, true
-		}
+		jobs := &jobQueue{limit: len(tr.Files)}
 
 		start := tb.V.Now()
 		var wg sync.WaitGroup
-		var errMu sync.Mutex
+		var ferr firstErr
 		for w := 0; w < threads; w++ {
 			w := w
 			wg.Add(1)
@@ -180,22 +169,21 @@ func runFig6Point(cfg Fig6Config, remotePct, threads int) (float64, error) {
 				defer wg.Done()
 				client := clients[w%len(clients)]
 				for {
-					j, ok := takeJob()
+					j, ok := jobs.take()
 					if !ok {
 						return
 					}
 					if _, err := client.FetchObject(tr.Files[j].Name); err != nil {
-						errMu.Lock()
-						if runErr == nil {
-							runErr = err
-						}
-						errMu.Unlock()
+						ferr.set(err)
 						return
 					}
 				}
 			})
 		}
 		tb.V.Block(wg.Wait)
+		if runErr == nil {
+			runErr = ferr.get()
+		}
 		elapsed := tb.V.Now().Sub(start)
 		tput = Throughput(totalBytes, elapsed)
 	})

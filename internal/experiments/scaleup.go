@@ -123,7 +123,7 @@ func RunScaleUp(cfg ScaleUpConfig) (*ScaleUpResult, error) {
 				// Indexed result slots plus a per-worker stagger keep the run
 				// deterministic under the virtual clock.
 				durs := make([][]time.Duration, clients)
-				var mu sync.Mutex
+				var ferr firstErr
 				var wg sync.WaitGroup
 				start := tb.V.Now()
 				for w := 0; w < clients; w++ {
@@ -133,11 +133,7 @@ func RunScaleUp(cfg ScaleUpConfig) (*ScaleUpResult, error) {
 						defer wg.Done()
 						sess, err := tb.Netbooks[cfg.Replicas+w].OpenSession()
 						if err != nil {
-							mu.Lock()
-							if runErr == nil {
-								runErr = err
-							}
-							mu.Unlock()
+							ferr.set(err)
 							return
 						}
 						defer sess.Close()
@@ -146,11 +142,7 @@ func RunScaleUp(cfg ScaleUpConfig) (*ScaleUpResult, error) {
 							for _, name := range names {
 								s0 := tb.V.Now()
 								if _, err := sess.FetchObject(name); err != nil {
-									mu.Lock()
-									if runErr == nil {
-										runErr = fmt.Errorf("fetch %s: %w", name, err)
-									}
-									mu.Unlock()
+									ferr.set(fmt.Errorf("fetch %s: %w", name, err))
 									return
 								}
 								durs[w] = append(durs[w], tb.V.Now().Sub(s0))
@@ -159,6 +151,9 @@ func RunScaleUp(cfg ScaleUpConfig) (*ScaleUpResult, error) {
 					})
 				}
 				tb.V.Block(wg.Wait)
+				if runErr == nil {
+					runErr = ferr.get()
+				}
 				row.Wall = tb.V.Now().Sub(start)
 				var all []time.Duration
 				for _, d := range durs {

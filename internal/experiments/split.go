@@ -137,14 +137,8 @@ func runSplitScenario(cfg SplitConfig, homeShare float64) (*splitRun, error) {
 		homeCount := int(float64(cfg.Images)*homeShare + 0.5)
 		start := tb.V.Now()
 		var wg sync.WaitGroup
-		var errMu sync.Mutex
-		fail := func(err error) {
-			errMu.Lock()
-			if runErr == nil {
-				runErr = err
-			}
-			errMu.Unlock()
-		}
+		var ferr firstErr
+		fail := func(err error) { ferr.set(err) }
 
 		// Home half: sequential on the requesting netbook.
 		wg.Add(1)
@@ -159,8 +153,7 @@ func runSplitScenario(cfg SplitConfig, homeShare float64) (*splitRun, error) {
 		})
 
 		// Remote half: pipelined through the EC2 instance.
-		var mu sync.Mutex
-		next := homeCount
+		jobs := &jobQueue{limit: cfg.Images, next: homeCount}
 		for w := 0; w < cfg.RemoteWorkers; w++ {
 			wg.Add(1)
 			tb.V.Go(func() {
@@ -172,14 +165,10 @@ func runSplitScenario(cfg SplitConfig, homeShare float64) (*splitRun, error) {
 				}
 				defer worker.Close()
 				for {
-					mu.Lock()
-					if next >= cfg.Images {
-						mu.Unlock()
+					i, ok := jobs.take()
+					if !ok {
 						return
 					}
-					i := next
-					next++
-					mu.Unlock()
 					if _, err := worker.ProcessAt(names[i], "frec", services.FaceRecognizeID, "cloud:xl"); err != nil {
 						fail(err)
 						return
@@ -188,6 +177,9 @@ func runSplitScenario(cfg SplitConfig, homeShare float64) (*splitRun, error) {
 			})
 		}
 		tb.V.Block(wg.Wait)
+		if runErr == nil {
+			runErr = ferr.get()
+		}
 		out.elapsed = tb.V.Now().Sub(start)
 	})
 	if runErr != nil {

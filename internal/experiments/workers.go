@@ -1,0 +1,54 @@
+package experiments
+
+import "sync"
+
+// firstErr records the first error a group of concurrent experiment
+// workers hits; the driver reads it after the worker group is joined.
+// Keeping only the first arrival matches the drivers' fail-fast
+// reporting and keeps the recorded error deterministic under the
+// virtual clock (the earliest event wins, not the last writer).
+type firstErr struct {
+	mu  sync.Mutex
+	err error // guarded by mu
+}
+
+// set keeps err if it is the first non-nil error recorded.
+func (f *firstErr) set(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err == nil {
+		f.err = err
+	}
+}
+
+// get returns the recorded error, if any.
+func (f *firstErr) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// jobQueue hands out job indices [next, limit) to concurrent workers.
+// Which worker takes which index varies with scheduling, but every
+// index is dispatched exactly once and results land in indexed slots,
+// so runs stay deterministic.
+type jobQueue struct {
+	limit int
+	mu    sync.Mutex
+	next  int // guarded by mu; the next undispatched index
+}
+
+// take returns the next index, or false when the queue is drained.
+func (q *jobQueue) take() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.next >= q.limit {
+		return 0, false
+	}
+	i := q.next
+	q.next++
+	return i, true
+}

@@ -194,6 +194,8 @@ func (s *Store) Attach(node ids.ID) {
 		}
 	}
 	s.mu.Unlock()
+	// Hand-over order is observable in the wire trace; keep it stable.
+	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
 
 	s.mesh.OnDeparture(node, func(overlay.Member) { s.repair(node) })
 	s.mesh.OnJoin(node, func(joined overlay.Member) { s.handOver(node, joined.ID) })
@@ -563,9 +565,9 @@ func (s *Store) Delete(from, key ids.ID) error {
 	ownerStore.mu.Lock()
 	_, existed := ownerStore.entries[key]
 	delete(ownerStore.entries, key)
-	holders := make([]ids.ID, 0, len(ownerStore.holders[key]))
+	holderSet := make(map[ids.ID]bool, len(ownerStore.holders[key]))
 	for h := range ownerStore.holders[key] {
-		holders = append(holders, h)
+		holderSet[h] = true
 	}
 	delete(ownerStore.holders, key)
 	ownerStore.mu.Unlock()
@@ -583,10 +585,6 @@ func (s *Store) Delete(from, key ids.ID) error {
 	}
 	s.mu.RUnlock()
 	sort.Slice(otherIDs, func(i, j int) bool { return otherIDs[i] < otherIDs[j] })
-	holderSet := make(map[ids.ID]bool, len(holders))
-	for _, h := range holders {
-		holderSet[h] = true
-	}
 	for _, id := range otherIDs {
 		ns, err := s.node(id)
 		if err != nil {
@@ -617,6 +615,7 @@ func (s *Store) Keys(node ids.ID) ([]ids.ID, error) {
 	for k := range ns.entries {
 		out = append(out, k)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
 

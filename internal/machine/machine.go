@@ -77,9 +77,9 @@ type Machine struct {
 	clock vclock.Clock
 
 	mu      sync.Mutex
-	running int
-	memUsed int64
-	done    int64 // tasks completed
+	running int   // guarded by mu
+	memUsed int64 // guarded by mu
+	done    int64 // guarded by mu; tasks completed
 }
 
 // New returns a machine. It panics only on an invalid spec, which is a

@@ -10,7 +10,6 @@ package parallel
 
 import (
 	"sync"
-	"sync/atomic"
 )
 
 // shardBytes is the shard granularity: one shard per mebibyte of input.
@@ -51,15 +50,15 @@ func Run(workers, n int, fn func(shard int)) {
 		}
 		return
 	}
-	var next atomic.Int64
+	p := &pool{n: n}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
+				i, ok := p.take()
+				if !ok {
 					return
 				}
 				fn(i)
@@ -67,6 +66,27 @@ func Run(workers, n int, fn func(shard int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// pool is one Run invocation's shared dispatch state: workers pull the
+// next undispatched shard until none remain. Dispatch order across
+// workers is irrelevant to the result (indexed slots), so a plain
+// guarded counter is all the coordination needed.
+type pool struct {
+	n    int
+	mu   sync.Mutex
+	next int // guarded by mu; index of the next undispatched shard
+}
+
+func (p *pool) take() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.next >= p.n {
+		return 0, false
+	}
+	i := p.next
+	p.next++
+	return i, true
 }
 
 // Range returns the half-open slice [lo, hi) of total items owned by
