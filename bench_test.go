@@ -317,6 +317,29 @@ func BenchmarkComputeScaleUp(b *testing.B) {
 	b.ReportMetric(sp4.Degraded.Mean.Seconds(), "specDegraded@4-s")
 }
 
+// BenchmarkAvailability measures trace-replay fetch availability under a
+// scripted holder crash: the paper's fail-on-loss behaviour vs the
+// fallback ladder vs fallback plus post-crash payload repair.
+func BenchmarkAvailability(b *testing.B) {
+	var last *experiments.AvailabilityResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAvailability(experiments.DefaultAvailability(benchSeed))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	off, _ := last.Row("faults-off")
+	fb, _ := last.Row("fallback")
+	rep, _ := last.Row("fallback+repair")
+	b.ReportMetric(off.SuccessRate, "faultsOffSuccess-%")
+	b.ReportMetric(fb.SuccessRate, "fallbackSuccess-%")
+	b.ReportMetric(rep.SuccessRate, "repairSuccess-%")
+	b.ReportMetric(float64(fb.Retries), "fallbackRetries")
+	b.ReportMetric(float64(rep.Retries), "repairRetries")
+	b.ReportMetric(float64(rep.ReplicasRestored), "replicasRestored")
+}
+
 // BenchmarkAblationDataCache measures the dom0 object cache's hit path
 // against the remote miss and the local-fetch floor.
 func BenchmarkAblationDataCache(b *testing.B) {

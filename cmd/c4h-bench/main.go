@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale] [-seed 2011]
+//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale|availability] [-seed 2011]
 package main
 
 import (
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale)")
+		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale, availability)")
 		seed = flag.Int64("seed", 2011, "simulation seed")
 	)
 	flag.Parse()
@@ -109,6 +109,14 @@ func run(exp string, seed int64) error {
 	}
 	if want("computescale") {
 		res, err := experiments.RunComputeScaleUp(experiments.DefaultComputeScaleUp(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("availability") {
+		res, err := experiments.RunAvailability(experiments.DefaultAvailability(seed))
 		if err != nil {
 			return err
 		}

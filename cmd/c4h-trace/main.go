@@ -161,7 +161,8 @@ func run() error {
 
 // nodeCounters prints the daemon's per-node operation counters, with the
 // compute-plane columns (kernel shards, overlap savings, speculative
-// hedges) whenever the daemon ran with those features enabled.
+// hedges) and the fault-tolerance columns (fallback retries, repairs)
+// whenever the daemon ran with those features enabled.
 func nodeCounters(addr string) error {
 	client, err := daemon.Dial(addr, 5*time.Second)
 	if err != nil {
@@ -179,6 +180,10 @@ func nodeCounters(addr string) error {
 			fmt.Printf(" shards=%d overlapSaved=%v specLaunch/win/cancel=%d/%d/%d",
 				n.ShardsExecuted, n.OverlapSaved.Round(time.Millisecond),
 				n.SpecLaunches, n.SpecWins, n.SpecCancels)
+		}
+		if n.FetchRetries > 0 || n.ObjectsRepaired > 0 || n.ReplicasRestored > 0 {
+			fmt.Printf(" retries=%d repaired=%d replicasRestored=%d",
+				n.FetchRetries, n.ObjectsRepaired, n.ReplicasRestored)
 		}
 		fmt.Println()
 	}

@@ -75,12 +75,13 @@ var layerDAG = map[string][]string{
 	},
 
 	// The evaluation harness: importable only from cmd (nothing below
-	// lists it as a dependency).
+	// lists it as a dependency). netsim is allowed for the availability
+	// experiment's scripted fault schedules.
 	"internal/experiments": {
 		"internal/cloudsim", "internal/cluster", "internal/core",
 		"internal/ids", "internal/kv", "internal/machine",
-		"internal/policy", "internal/services", "internal/trace",
-		"internal/vclock", "internal/xenchan",
+		"internal/netsim", "internal/policy", "internal/services",
+		"internal/trace", "internal/vclock", "internal/xenchan",
 	},
 
 	// Test-only integration package and this analyzer: stdlib only.

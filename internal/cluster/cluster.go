@@ -59,6 +59,8 @@ type Testbed struct {
 	Cloud    *cloudsim.Cloud
 	Netbooks []*core.Node
 	Desktop  *core.Node
+
+	opts Options // construction options, kept so crashed nodes can rejoin
 }
 
 // Options configures testbed construction.
@@ -76,6 +78,9 @@ type Options struct {
 	// ComputePlane configures the concurrent compute-plane features on
 	// every node; the zero value keeps the paper's sequential behaviour.
 	ComputePlane core.ComputePlaneConfig
+	// Faults configures the fault-tolerance layer on every node; the zero
+	// value keeps the paper's fail-on-loss behaviour.
+	Faults core.FaultConfig
 }
 
 // New builds the paper testbed. All construction runs inside the virtual
@@ -88,7 +93,7 @@ func New(opts Options) (*Testbed, error) {
 	if opts.KV != nil {
 		kvOpts = *opts.KV
 	}
-	tb := &Testbed{V: vclock.NewVirtual(Epoch)}
+	tb := &Testbed{V: vclock.NewVirtual(Epoch), opts: opts}
 	var err error
 	tb.V.Run(func() {
 		tb.Home = core.NewHome(tb.V, core.HomeOptions{Seed: opts.Seed, KV: kvOpts})
@@ -96,15 +101,7 @@ func New(opts Options) (*Testbed, error) {
 		tb.Home.AttachCloud(tb.Cloud)
 		for i := 0; i < opts.Netbooks; i++ {
 			var n *core.Node
-			n, err = tb.Home.AddNode(core.NodeConfig{
-				Addr:           fmt.Sprintf("netbook-%d:9000", i+1),
-				Machine:        NetbookSpec(fmt.Sprintf("netbook-%d", i+1)),
-				MandatoryBytes: 4 * GB,
-				VoluntaryBytes: 2 * GB,
-				CloudGateway:   i == 0,
-				DataPlane:      opts.DataPlane,
-				ComputePlane:   opts.ComputePlane,
-			})
+			n, err = tb.Home.AddNode(tb.NetbookConfig(i))
 			if err != nil {
 				return
 			}
@@ -117,6 +114,7 @@ func New(opts Options) (*Testbed, error) {
 			VoluntaryBytes: 16 * GB,
 			DataPlane:      opts.DataPlane,
 			ComputePlane:   opts.ComputePlane,
+			Faults:         opts.Faults,
 		})
 		if err != nil {
 			return
@@ -127,6 +125,23 @@ func New(opts Options) (*Testbed, error) {
 		return nil, fmt.Errorf("cluster: build testbed: %w", err)
 	}
 	return tb, nil
+}
+
+// NetbookConfig is the construction config of netbook i (zero-based), as
+// New used it. Availability experiments rejoin a crashed netbook by
+// passing this back to Home.AddNode. Netbook 0 is the cloud gateway —
+// kill a higher-numbered one if the cloud rung must stay reachable.
+func (tb *Testbed) NetbookConfig(i int) core.NodeConfig {
+	return core.NodeConfig{
+		Addr:           fmt.Sprintf("netbook-%d:9000", i+1),
+		Machine:        NetbookSpec(fmt.Sprintf("netbook-%d", i+1)),
+		MandatoryBytes: 4 * GB,
+		VoluntaryBytes: 2 * GB,
+		CloudGateway:   i == 0,
+		DataPlane:      tb.opts.DataPlane,
+		ComputePlane:   tb.opts.ComputePlane,
+		Faults:         tb.opts.Faults,
+	}
 }
 
 // Run executes fn as a registered virtual-clock worker.

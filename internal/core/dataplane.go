@@ -110,7 +110,15 @@ func (n *Node) cacheFill(meta ObjectMeta, data []byte) {
 // deterministic); failures simply shrink the replica list — the primary
 // copy is already safe.
 func (n *Node) replicateData(obj objstore.Object, data []byte, primaryAddr string) []string {
-	want := n.cfg.DataPlane.DataReplicas
+	return n.placeCopies(obj, data, n.cfg.DataPlane.DataReplicas,
+		map[string]bool{primaryAddr: true})
+}
+
+// placeCopies places up to want voluntary-bin payload copies on peers not
+// in exclude, pushed concurrently from this node (which holds the data in
+// dom0). Store-time replication and post-crash repair share it so both
+// pick targets identically.
+func (n *Node) placeCopies(obj objstore.Object, data []byte, want int, exclude map[string]bool) []string {
 	if want <= 0 {
 		return nil
 	}
@@ -120,7 +128,7 @@ func (n *Node) replicateData(obj objstore.Object, data []byte, primaryAddr strin
 	}
 	var cands []candidate
 	for _, peer := range n.home.Nodes() {
-		if peer.addr == primaryAddr {
+		if exclude[peer.addr] {
 			continue
 		}
 		u, err := peer.store.Usage(objstore.Voluntary)

@@ -19,6 +19,10 @@ type FetchBreakdown struct {
 	InterNode time.Duration
 	// InterDomain is the dom0→guest shared-memory transfer.
 	InterDomain time.Duration
+	// Retries accumulates the modeled cost of failed fetch attempts the
+	// fault-tolerance ladder made before the one that succeeded; zero
+	// unless FaultConfig.Fallback is enabled and a holder was lost.
+	Retries time.Duration
 	// Total is the caller-observed latency.
 	Total time.Duration
 }
@@ -51,6 +55,12 @@ func (s *Session) FetchObject(name string) (FetchResult, error) {
 	}
 	meta, data, source, breakdown, err := s.node.fetchToDom0(name, s.principal, sink)
 	if err != nil {
+		if sink != nil && sink.used {
+			// A failed pipelined fetch may have streamed chunks already;
+			// settle the pipeline so the half-delivered sink cannot corrupt
+			// the next fetch's accounting on this channel.
+			sink.pl.Finish(sink.tail())
+		}
 		return FetchResult{}, err
 	}
 	if sink != nil && sink.used {
@@ -148,6 +158,9 @@ func (n *Node) fetchToDom0(name, principal string, sink *domainSink) (ObjectMeta
 		}
 		peer, ok := n.home.Node(meta.Location)
 		if !ok {
+			if n.cfg.Faults.Fallback {
+				return n.finishFallback(meta, sink, bd)
+			}
 			return meta, nil, "", bd, fmt.Errorf("%w: %q (holder %q gone)", ErrObjectNotFound, name, meta.Location)
 		}
 		// Request message to the owner, then the inter-node transfer
@@ -156,16 +169,35 @@ func (n *Node) fetchToDom0(name, principal string, sink *domainSink) (ObjectMeta
 		n.home.net.Message(n.lanPathTo(peer))
 		_, data, err := peer.store.Get(name)
 		if err != nil {
+			if n.cfg.Faults.Fallback {
+				return n.finishFallback(meta, sink, bd)
+			}
 			return meta, nil, "", bd, fmt.Errorf("core: fetch %q from %s: %w", name, peer.addr, err)
 		}
 		if sink != nil && meta.Size > 0 {
-			st, wall, terr := n.home.net.TransferSet([]netsim.TransferReq{{
+			req := netsim.TransferReq{
 				Path:    peer.lanPathTo(n),
 				Size:    meta.Size,
 				Chunk:   sink.chunk,
 				OnChunk: sink.onChunk,
-			}})
-			if terr != nil || len(st) == 0 {
+			}
+			if n.cfg.Faults.Fallback {
+				// Let a holder crash abort the transfer instead of running the
+				// modeled wire to completion against a dead endpoint.
+				req.Cancel = func() bool {
+					_, alive := n.home.Node(peer.addr)
+					return !alive
+				}
+			}
+			st, wall, terr := n.home.net.TransferSet([]netsim.TransferReq{req})
+			aborted := terr == nil && len(st) > 0 && st[0].Aborted
+			if terr != nil || len(st) == 0 || aborted {
+				if n.cfg.Faults.Fallback {
+					// The aborted attempt's partial wire time is retry cost,
+					// not useful inter-node time.
+					bd.Retries += wall
+					return n.finishFallback(meta, sink, bd)
+				}
 				return meta, nil, "", bd, fmt.Errorf("core: fetch %q from %s: %v", name, peer.addr, terr)
 			}
 			bd.InterNode = wall
@@ -175,6 +207,18 @@ func (n *Node) fetchToDom0(name, principal string, sink *domainSink) (ObjectMeta
 		n.cacheFill(meta, data)
 		return meta, data, peer.addr, bd, nil
 	}
+}
+
+// finishFallback runs the retry ladder for fetchToDom0's remote case and
+// packages its result, filling the cache on success like the direct path
+// does. The cache rung is skipped: fetchToDom0 consulted it already.
+func (n *Node) finishFallback(meta ObjectMeta, sink *domainSink, bd FetchBreakdown) (ObjectMeta, []byte, string, FetchBreakdown, error) {
+	data, src, err := n.fetchViaFallback(meta, sink, &bd, true)
+	if err != nil {
+		return meta, nil, "", bd, err
+	}
+	n.cacheFill(meta, data)
+	return meta, data, src, bd, nil
 }
 
 // fetchFederated pulls an object from a neighbour home over the
@@ -189,6 +233,18 @@ func (n *Node) fetchFederated(peerHome *Home, meta ObjectMeta) ([]byte, string, 
 		return data, meta.Location, d, err
 	}
 	holder, ok := peerHome.Node(meta.Location)
+	if n.cfg.Faults.Fallback && (!ok || !holder.store.Has(meta.Name)) {
+		// The neighbour home's primary is gone; substitute a surviving
+		// replica holder over there before giving up.
+		n.ops.fetchRetries.Add(1)
+		holder, ok = nil, false
+		for _, addr := range meta.Replicas {
+			if p, live := peerHome.Node(addr); live && p.store.Has(meta.Name) {
+				holder, ok = p, true
+				break
+			}
+		}
+	}
 	if !ok {
 		return nil, "", 0, fmt.Errorf("%w: %q (federated holder gone)", ErrObjectNotFound, meta.Name)
 	}

@@ -64,6 +64,10 @@ type NodeConfig struct {
 	// kernels, move/execute overlap, speculative placement); the zero
 	// value is the paper's sequential behaviour.
 	ComputePlane ComputePlaneConfig
+	// Faults enables the fault-tolerance layer (retry/fallback ladder,
+	// post-crash payload re-replication); the zero value is the paper's
+	// fail-on-holder-loss behaviour.
+	Faults FaultConfig
 }
 
 func (c *NodeConfig) applyDefaults() {
@@ -315,6 +319,9 @@ func (n *Node) shutdown(graceful bool) error {
 		return err
 	}
 	n.home.kv.Detach(n.id)
+	// Metadata repair ran synchronously inside Fail's departure handlers,
+	// so payload repairers read post-repair metadata here.
+	n.home.payloadRepairAfterCrash(n.addr)
 	return nil
 }
 

@@ -408,6 +408,18 @@ func (n *Node) moveInput(meta ObjectMeta, target string) ([]byte, time.Duration,
 			return nil, 0, ErrNoCloud
 		}
 		holder, ok := n.home.Node(meta.Location)
+		if n.cfg.Faults.Fallback && (!ok || !holder.store.Has(meta.Name)) {
+			if cloud.Has(meta.Name) {
+				// The cloud already holds a copy: input and target are
+				// co-located, no move needed.
+				n.ops.fetchRetries.Add(1)
+				return nil, 0, nil
+			}
+			if s, live := n.survivingHolder(meta); live {
+				n.ops.fetchRetries.Add(1)
+				holder, ok = s, true
+			}
+		}
 		if !ok {
 			return nil, 0, fmt.Errorf("%w: %q (holder gone)", ErrObjectNotFound, meta.Name)
 		}
@@ -421,6 +433,18 @@ func (n *Node) moveInput(meta ObjectMeta, target string) ([]byte, time.Duration,
 	default:
 		holder, ok1 := n.home.Node(meta.Location)
 		tgt, ok2 := n.home.Node(target)
+		if n.cfg.Faults.Fallback && ok2 && (!ok1 || !holder.store.Has(meta.Name)) {
+			if s, live := n.survivingHolder(meta); live {
+				n.ops.fetchRetries.Add(1)
+				holder, ok1 = s, true
+			} else if cloud != nil && cloud.Has(meta.Name) {
+				// Last rung: pull the input down from the cloud straight to
+				// the target.
+				n.ops.fetchRetries.Add(1)
+				_, data, d, err := cloud.FetchObject(tgt.nic, meta.Name)
+				return data, d, err
+			}
+		}
 		if !ok1 || !ok2 {
 			return nil, 0, fmt.Errorf("%w: %q (holder or target gone)", ErrObjectNotFound, meta.Name)
 		}

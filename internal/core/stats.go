@@ -30,6 +30,16 @@ type OpStats struct {
 	SpecLaunches int64
 	SpecWins     int64
 	SpecCancels  int64
+	// FetchRetries counts fetches (and process input moves) that entered
+	// the fault-tolerance fallback ladder after losing a holder; zero
+	// while FaultConfig.Fallback is off.
+	FetchRetries int64
+	// ObjectsRepaired counts objects whose metadata this node rewrote
+	// during post-crash payload repair; ReplicasRestored counts the fresh
+	// payload copies it placed doing so. Both stay zero while
+	// FaultConfig.Repair is off.
+	ObjectsRepaired  int64
+	ReplicasRestored int64
 }
 
 // opCounters is the node-internal atomic representation. The counters
@@ -37,19 +47,22 @@ type OpStats struct {
 // the `// guarded by` convention does not apply here; atomicity is the
 // whole discipline.
 type opCounters struct {
-	stores         atomic.Int64
-	fetches        atomic.Int64
-	processes      atomic.Int64
-	deletes        atomic.Int64
-	bytesStored    atomic.Int64
-	bytesFetched   atomic.Int64
-	cacheHits      atomic.Int64
-	cacheMisses    atomic.Int64
-	shardsExecuted atomic.Int64
-	overlapSaved   atomic.Int64 // nanoseconds
-	specLaunches   atomic.Int64
-	specWins       atomic.Int64
-	specCancels    atomic.Int64
+	stores           atomic.Int64
+	fetches          atomic.Int64
+	processes        atomic.Int64
+	deletes          atomic.Int64
+	bytesStored      atomic.Int64
+	bytesFetched     atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	shardsExecuted   atomic.Int64
+	overlapSaved     atomic.Int64 // nanoseconds
+	specLaunches     atomic.Int64
+	specWins         atomic.Int64
+	specCancels      atomic.Int64
+	fetchRetries     atomic.Int64
+	objectsRepaired  atomic.Int64
+	replicasRestored atomic.Int64
 }
 
 func (c *opCounters) snapshot() OpStats {
@@ -67,6 +80,10 @@ func (c *opCounters) snapshot() OpStats {
 		SpecLaunches:   c.specLaunches.Load(),
 		SpecWins:       c.specWins.Load(),
 		SpecCancels:    c.specCancels.Load(),
+
+		FetchRetries:     c.fetchRetries.Load(),
+		ObjectsRepaired:  c.objectsRepaired.Load(),
+		ReplicasRestored: c.replicasRestored.Load(),
 	}
 }
 

@@ -207,6 +207,11 @@ type nodeStats struct {
 	SpecLaunches   int64 `json:"specLaunches,omitempty"`
 	SpecWins       int64 `json:"specWins,omitempty"`
 	SpecCancels    int64 `json:"specCancels,omitempty"`
+	// Fault-tolerance counters (zero unless FaultConfig enables the
+	// fallback ladder / post-crash repair).
+	FetchRetries     int64 `json:"fetchRetries,omitempty"`
+	ObjectsRepaired  int64 `json:"objectsRepaired,omitempty"`
+	ReplicasRestored int64 `json:"replicasRestored,omitempty"`
 }
 
 type statsResp struct {
@@ -310,20 +315,23 @@ func (s *Server) dispatch(conn net.Conn, pkt *command.Packet) error {
 		for _, n := range s.home.Nodes() {
 			ops := n.OpStats()
 			out.Nodes = append(out.Nodes, nodeStats{
-				Addr:           n.Addr(),
-				Stores:         ops.Stores,
-				Fetches:        ops.Fetches,
-				Processes:      ops.Processes,
-				Deletes:        ops.Deletes,
-				BytesStored:    ops.BytesStored,
-				BytesFetched:   ops.BytesFetched,
-				CPULoad:        n.Machine().Load(),
-				MemFreeMB:      n.Machine().MemFreeMB(),
-				ShardsExecuted: ops.ShardsExecuted,
-				OverlapSavedMS: ops.OverlapSaved.Milliseconds(),
-				SpecLaunches:   ops.SpecLaunches,
-				SpecWins:       ops.SpecWins,
-				SpecCancels:    ops.SpecCancels,
+				Addr:             n.Addr(),
+				Stores:           ops.Stores,
+				Fetches:          ops.Fetches,
+				Processes:        ops.Processes,
+				Deletes:          ops.Deletes,
+				BytesStored:      ops.BytesStored,
+				BytesFetched:     ops.BytesFetched,
+				CPULoad:          n.Machine().Load(),
+				MemFreeMB:        n.Machine().MemFreeMB(),
+				ShardsExecuted:   ops.ShardsExecuted,
+				OverlapSavedMS:   ops.OverlapSaved.Milliseconds(),
+				SpecLaunches:     ops.SpecLaunches,
+				SpecWins:         ops.SpecWins,
+				SpecCancels:      ops.SpecCancels,
+				FetchRetries:     ops.FetchRetries,
+				ObjectsRepaired:  ops.ObjectsRepaired,
+				ReplicasRestored: ops.ReplicasRestored,
 			})
 		}
 		return s.writeJSON(conn, command.TypeResourceUpdate, out, nil)
@@ -545,6 +553,10 @@ type NodeStats struct {
 	SpecLaunches   int64
 	SpecWins       int64
 	SpecCancels    int64
+	// Fault-tolerance counters; zero while FaultConfig is the zero value.
+	FetchRetries     int64
+	ObjectsRepaired  int64
+	ReplicasRestored int64
 }
 
 // Stats returns per-node operation counters and machine state.
@@ -560,20 +572,23 @@ func (c *Client) Stats() ([]NodeStats, error) {
 	out := make([]NodeStats, len(body.Nodes))
 	for i, n := range body.Nodes {
 		out[i] = NodeStats{
-			Addr:           n.Addr,
-			Stores:         n.Stores,
-			Fetches:        n.Fetches,
-			Processes:      n.Processes,
-			Deletes:        n.Deletes,
-			BytesStored:    n.BytesStored,
-			BytesFetched:   n.BytesFetched,
-			CPULoad:        n.CPULoad,
-			MemFreeMB:      n.MemFreeMB,
-			ShardsExecuted: n.ShardsExecuted,
-			OverlapSaved:   time.Duration(n.OverlapSavedMS) * time.Millisecond,
-			SpecLaunches:   n.SpecLaunches,
-			SpecWins:       n.SpecWins,
-			SpecCancels:    n.SpecCancels,
+			Addr:             n.Addr,
+			Stores:           n.Stores,
+			Fetches:          n.Fetches,
+			Processes:        n.Processes,
+			Deletes:          n.Deletes,
+			BytesStored:      n.BytesStored,
+			BytesFetched:     n.BytesFetched,
+			CPULoad:          n.CPULoad,
+			MemFreeMB:        n.MemFreeMB,
+			ShardsExecuted:   n.ShardsExecuted,
+			OverlapSaved:     time.Duration(n.OverlapSavedMS) * time.Millisecond,
+			SpecLaunches:     n.SpecLaunches,
+			SpecWins:         n.SpecWins,
+			SpecCancels:      n.SpecCancels,
+			FetchRetries:     n.FetchRetries,
+			ObjectsRepaired:  n.ObjectsRepaired,
+			ReplicasRestored: n.ReplicasRestored,
 		}
 	}
 	return out, nil

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/netsim"
+	"cloud4home/internal/trace"
+)
+
+// AvailabilityConfig parameterises the churn study: a fetch trace replayed
+// while a scripted fault schedule crashes the payload holder mid-replay
+// and rejoins it (empty) later. Three fault-layer modes run over the same
+// workload and the same schedule: the paper's fail-on-loss behaviour,
+// the fallback ladder, and fallback plus post-crash payload repair.
+type AvailabilityConfig struct {
+	Seed int64
+	// Clients are concurrent readers, each replaying its own slice of the
+	// trace from its own netbook.
+	Clients int
+	// Files is the catalogue size; every file is seeded at the victim node
+	// before the replay starts, so the crash hits every primary copy.
+	Files int
+	// Accesses is the total trace operation count.
+	Accesses int
+	// MinSize/MaxSize bound the uniform file-size band.
+	MinSize, MaxSize int64
+	// Replicas is the payload replica count (DataPlaneConfig.DataReplicas).
+	Replicas int
+	// MeanGap is the mean inter-arrival time per client.
+	MeanGap time.Duration
+	// KillAt crashes the victim (netbook 2); RejoinAt brings it back with
+	// empty bins. Both are offsets from the replay start.
+	KillAt, RejoinAt time.Duration
+}
+
+// DefaultAvailability is a compact churn scenario: the kill lands inside
+// the replay and the rejoin well before its end.
+func DefaultAvailability(seed int64) AvailabilityConfig {
+	return AvailabilityConfig{
+		Seed:     seed,
+		Clients:  2,
+		Files:    10,
+		Accesses: 80,
+		MinSize:  256 * 1024,
+		MaxSize:  1 * MB,
+		Replicas: 1,
+		MeanGap:  50 * time.Millisecond,
+		KillAt:   400 * time.Millisecond,
+		RejoinAt: 1500 * time.Millisecond,
+	}
+}
+
+// AvailabilityRow is one fault-layer mode's replay outcome.
+type AvailabilityRow struct {
+	Mode string
+	// Attempts and Failures count replayed fetches; SuccessRate is their
+	// ratio in percent.
+	Attempts    int
+	Failures    int
+	SuccessRate float64
+	// Fetch summarises successful fetch latencies.
+	Fetch Stats
+	// RetryCost is the total modeled time burned in failed attempts before
+	// the ladder's successful rung (summed FetchBreakdown.Retries).
+	RetryCost time.Duration
+	// Retries / Repairs / ReplicasRestored are the cluster-wide fault
+	// counters after the replay.
+	Retries          int64
+	Repairs          int64
+	ReplicasRestored int64
+}
+
+// AvailabilityResult compares the three modes over identical churn.
+type AvailabilityResult struct {
+	Rows []AvailabilityRow
+}
+
+// availabilityModes are the compared fault configurations.
+func availabilityModes() []struct {
+	name string
+	fc   core.FaultConfig
+} {
+	return []struct {
+		name string
+		fc   core.FaultConfig
+	}{
+		{"faults-off", core.FaultConfig{}},
+		{"fallback", core.FaultConfig{Fallback: true}},
+		{"fallback+repair", core.FaultConfig{Fallback: true, Repair: true}},
+	}
+}
+
+// RunAvailability replays the same fetch trace under the same scripted
+// kill/rejoin schedule for each mode. All files are stored by the victim
+// netbook, so its crash takes out every primary copy at once; replicas
+// land on the desktop (the node with the most voluntary space), which
+// survives. Fail-on-loss then fails every post-kill fetch — the rejoined
+// node comes back empty — while the fallback ladder keeps serving from
+// the replica, and repair additionally restores the replica count and
+// promotes a new primary so later fetches stop paying retry cost.
+func RunAvailability(cfg AvailabilityConfig) (*AvailabilityResult, error) {
+	tr, err := trace.Generate(trace.Config{
+		Seed:     cfg.Seed,
+		Clients:  cfg.Clients,
+		Files:    cfg.Files,
+		Accesses: cfg.Accesses,
+		MinSize:  cfg.MinSize,
+		MaxSize:  cfg.MaxSize,
+		MeanGap:  cfg.MeanGap,
+		// StoreFraction 0: beyond each file's forced initial store (which
+		// the replay skips — seeding happens at the victim instead), the
+		// trace is fetch-only, so the availability question is purely about
+		// reads surviving the holder crash.
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AvailabilityResult{}
+	for _, mode := range availabilityModes() {
+		row, err := runAvailabilityMode(cfg, tr, mode.name, mode.fc)
+		if err != nil {
+			return nil, fmt.Errorf("availability %s: %w", mode.name, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runAvailabilityMode(cfg AvailabilityConfig, tr *trace.Trace, name string, fc core.FaultConfig) (AvailabilityRow, error) {
+	// Netbook 0 is the cloud gateway, netbook 1 the victim; readers get
+	// their own netbooks above those.
+	tb, err := cluster.New(cluster.Options{
+		Seed:      cfg.Seed,
+		Netbooks:  2 + cfg.Clients,
+		DataPlane: core.DataPlaneConfig{DataReplicas: cfg.Replicas},
+		Faults:    fc,
+	})
+	if err != nil {
+		return AvailabilityRow{}, err
+	}
+	const victimIdx = 1
+	victim := tb.Netbooks[victimIdx]
+	row := AvailabilityRow{Mode: name}
+	var runErr error
+	tb.Run(func() {
+		// Seed every file at the victim, replicas riding along per the
+		// data-plane config.
+		writer, err := victim.OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		for _, f := range tr.Files {
+			if err := writer.CreateObject(f.Name, f.Type, f.Tags); err != nil {
+				runErr = err
+				return
+			}
+			if _, err := writer.StoreObject(f.Name, nil, f.Size, core.StoreOptions{Blocking: true}); err != nil {
+				runErr = err
+				return
+			}
+		}
+		writer.Close()
+
+		schedule := netsim.FaultSchedule{Events: []netsim.FaultEvent{
+			{At: cfg.KillAt, Node: victim.Addr(), Kind: netsim.FaultCrash},
+			{At: cfg.RejoinAt, Node: victim.Addr(), Kind: netsim.FaultRejoin},
+		}}
+		apply := func(e netsim.FaultEvent) error {
+			switch e.Kind {
+			case netsim.FaultCrash:
+				return tb.Home.RemoveNode(e.Node, false)
+			default:
+				_, err := tb.Home.AddNode(tb.NetbookConfig(victimIdx))
+				return err
+			}
+		}
+
+		type sample struct {
+			d       time.Duration
+			retries time.Duration
+			failed  bool
+		}
+		samples := make([][]sample, cfg.Clients)
+		var ferr firstErr
+		var wg sync.WaitGroup
+		start := tb.V.Now()
+		wg.Add(1)
+		tb.V.Go(func() {
+			defer wg.Done()
+			if err := netsim.RunFaults(tb.V, schedule, apply); err != nil {
+				ferr.set(err)
+			}
+		})
+		for c := 0; c < cfg.Clients; c++ {
+			c := c
+			wg.Add(1)
+			tb.V.Go(func() {
+				defer wg.Done()
+				sess, err := tb.Netbooks[2+c].OpenSession()
+				if err != nil {
+					ferr.set(err)
+					return
+				}
+				defer sess.Close()
+				tb.V.Sleep(time.Duration(c+1) * 500 * time.Microsecond)
+				for _, a := range tr.Accesses {
+					if a.Client != c || a.Kind != trace.OpFetch {
+						continue
+					}
+					if wait := start.Add(a.At).Sub(tb.V.Now()); wait > 0 {
+						tb.V.Sleep(wait)
+					}
+					s0 := tb.V.Now()
+					fr, err := sess.FetchObject(tr.Files[a.File].Name)
+					s := sample{d: tb.V.Now().Sub(s0)}
+					if err != nil {
+						// A lost fetch is the datum here, not a run error.
+						s.failed = true
+					} else {
+						s.retries = fr.Breakdown.Retries
+					}
+					samples[c] = append(samples[c], s)
+				}
+			})
+		}
+		tb.V.Block(wg.Wait)
+		if runErr == nil {
+			runErr = ferr.get()
+		}
+
+		var ok []time.Duration
+		for _, cs := range samples {
+			for _, s := range cs {
+				row.Attempts++
+				if s.failed {
+					row.Failures++
+					continue
+				}
+				ok = append(ok, s.d)
+				row.RetryCost += s.retries
+			}
+		}
+		if row.Attempts > 0 {
+			row.SuccessRate = 100 * float64(row.Attempts-row.Failures) / float64(row.Attempts)
+		}
+		row.Fetch = Summarize(ok)
+		for _, n := range tb.Home.Nodes() {
+			st := n.OpStats()
+			row.Retries += st.FetchRetries
+			row.Repairs += st.ObjectsRepaired
+			row.ReplicasRestored += st.ReplicasRestored
+		}
+	})
+	if runErr != nil {
+		return AvailabilityRow{}, runErr
+	}
+	return row, nil
+}
+
+// Row returns the named mode's measurement, or false.
+func (r *AvailabilityResult) Row(mode string) (AvailabilityRow, bool) {
+	for _, row := range r.Rows {
+		if row.Mode == mode {
+			return row, true
+		}
+	}
+	return AvailabilityRow{}, false
+}
+
+// Table renders the comparison.
+func (r *AvailabilityResult) Table() Table {
+	t := Table{
+		Title:   "Availability under churn: trace replay with a scripted holder crash",
+		Headers: []string{"Mode", "Attempts", "Failures", "Success(%)", "FetchMean(ms)", "RetryCost(ms)", "Repairs", "ReplicasRestored"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Mode,
+			fmt.Sprintf("%d", row.Attempts),
+			fmt.Sprintf("%d", row.Failures),
+			fmt.Sprintf("%.1f", row.SuccessRate),
+			Millis(row.Fetch.Mean),
+			Millis(row.RetryCost),
+			fmt.Sprintf("%d", row.Repairs),
+			fmt.Sprintf("%d", row.ReplicasRestored),
+		})
+	}
+	return t
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunAvailability(t *testing.T) {
+	res, err := RunAvailability(DefaultAvailability(8191))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+
+	off, ok := res.Row("faults-off")
+	if !ok {
+		t.Fatal("faults-off row missing")
+	}
+	if off.Failures == 0 || off.SuccessRate >= 100 {
+		t.Fatalf("faults-off lost nothing (%d/%d failed) — the kill never bit", off.Failures, off.Attempts)
+	}
+	if off.Retries != 0 || off.Repairs != 0 || off.ReplicasRestored != 0 {
+		t.Fatalf("faults-off bumped fault counters: %+v", off)
+	}
+
+	fb, ok := res.Row("fallback")
+	if !ok {
+		t.Fatal("fallback row missing")
+	}
+	if fb.Failures != 0 || fb.SuccessRate != 100 {
+		t.Fatalf("fallback failed %d/%d fetches, want none", fb.Failures, fb.Attempts)
+	}
+	if fb.Retries == 0 {
+		t.Fatal("fallback never entered the ladder — the kill never bit")
+	}
+	if fb.Repairs != 0 {
+		t.Fatalf("fallback repaired %d objects with repair off", fb.Repairs)
+	}
+
+	rep, ok := res.Row("fallback+repair")
+	if !ok {
+		t.Fatal("fallback+repair row missing")
+	}
+	if rep.Failures != 0 || rep.SuccessRate != 100 {
+		t.Fatalf("fallback+repair failed %d/%d fetches, want none", rep.Failures, rep.Attempts)
+	}
+	if rep.Repairs == 0 || rep.ReplicasRestored == 0 {
+		t.Fatalf("repair counters stayed zero: %+v", rep)
+	}
+	// Repair promotes a new primary, so later fetches skip the ladder:
+	// strictly less retry traffic than fallback alone.
+	if rep.Retries >= fb.Retries {
+		t.Fatalf("repair retries %d, want < fallback's %d", rep.Retries, fb.Retries)
+	}
+
+	if got := res.Table().Render(); got == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestRunAvailabilityDeterministic(t *testing.T) {
+	a, err := RunAvailability(DefaultAvailability(4099))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAvailability(DefaultAvailability(4099))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("availability not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}

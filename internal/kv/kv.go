@@ -563,7 +563,12 @@ func (s *Store) Delete(from, key ids.ID) error {
 		return err
 	}
 	ownerStore.mu.Lock()
-	_, existed := ownerStore.entries[key]
+	if _, existed := ownerStore.entries[key]; !existed {
+		// Nothing to delete: leave the entry and cache-holder bookkeeping
+		// untouched, so later refreshCaches still reaches live caches.
+		ownerStore.mu.Unlock()
+		return fmt.Errorf("kv: delete %s: %w", key, ErrNotFound)
+	}
 	delete(ownerStore.entries, key)
 	holderSet := make(map[ids.ID]bool, len(ownerStore.holders[key]))
 	for h := range ownerStore.holders[key] {
@@ -571,9 +576,6 @@ func (s *Store) Delete(from, key ids.ID) error {
 	}
 	delete(ownerStore.holders, key)
 	ownerStore.mu.Unlock()
-	if !existed {
-		return fmt.Errorf("kv: delete %s: %w", key, ErrNotFound)
-	}
 	// Purge replicas and caches everywhere (at home scale replica sets may
 	// have shifted since the write, so a sweep is the robust choice).
 	s.mu.RLock()
@@ -659,7 +661,7 @@ func (s *Store) repair(node ids.ID) {
 				continue
 			}
 			ms.mu.Lock()
-			if len(ms.entries[key]) < len(chain) {
+			if chainNewer(chain, ms.entries[key]) {
 				ms.entries[key] = cloneChain(chain)
 				ms.mu.Unlock()
 				s.wire.Send(node, m.ID)
@@ -714,7 +716,7 @@ func (s *Store) handOver(node, newcomer ids.ID) {
 		}
 		s.wire.Send(node, newcomer)
 		nsNew.mu.Lock()
-		if len(nsNew.entries[key]) < len(chain) {
+		if chainNewer(chain, nsNew.entries[key]) {
 			nsNew.entries[key] = chain
 		}
 		nsNew.mu.Unlock()
@@ -759,7 +761,7 @@ func (s *Store) Depart(node ids.ID) error {
 			}
 			s.wire.Send(node, m.ID)
 			ms.mu.Lock()
-			if len(ms.entries[key]) < len(chain) {
+			if chainNewer(chain, ms.entries[key]) {
 				ms.entries[key] = cloneChain(chain)
 			}
 			ms.mu.Unlock()
@@ -770,6 +772,28 @@ func (s *Store) Depart(node ids.ID) error {
 	}
 	s.Detach(node)
 	return nil
+}
+
+// chainNewer reports whether candidate should replace existing during a
+// repair/hand-over merge. Chain length alone is version-blind: Overwrite
+// chains always have length 1 but a rising Version, so a stale replica
+// would never be refreshed by a length comparison. The last value's
+// Version is the authority; length only breaks ties (Chain-policy chains
+// carry Version == index, so a longer chain at the same tip version means
+// more history).
+func chainNewer(candidate, existing []Value) bool {
+	if len(candidate) == 0 {
+		return false
+	}
+	if len(existing) == 0 {
+		return true
+	}
+	cv := candidate[len(candidate)-1].Version
+	ev := existing[len(existing)-1].Version
+	if cv != ev {
+		return cv > ev
+	}
+	return len(candidate) > len(existing)
 }
 
 func cloneBytes(b []byte) []byte {

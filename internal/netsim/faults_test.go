@@ -1,0 +1,123 @@
+package netsim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"cloud4home/internal/vclock"
+)
+
+func TestFaultScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    FaultSchedule
+		ok   bool
+	}{
+		{"empty", FaultSchedule{}, true},
+		{"good", FaultSchedule{Events: []FaultEvent{
+			{At: time.Second, Node: "a:1", Kind: FaultCrash},
+			{At: 2 * time.Second, Node: "a:1", Kind: FaultRejoin},
+		}}, true},
+		{"negative offset", FaultSchedule{Events: []FaultEvent{
+			{At: -time.Second, Node: "a:1", Kind: FaultCrash},
+		}}, false},
+		{"no node", FaultSchedule{Events: []FaultEvent{
+			{At: time.Second, Kind: FaultCrash},
+		}}, false},
+		{"bad kind", FaultSchedule{Events: []FaultEvent{
+			{At: time.Second, Node: "a:1"},
+		}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.s.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestFaultScheduleOrdered(t *testing.T) {
+	s := FaultSchedule{Events: []FaultEvent{
+		{At: 2 * time.Second, Node: "b:1", Kind: FaultRejoin},
+		{At: time.Second, Node: "b:1", Kind: FaultCrash},
+		{At: 2 * time.Second, Node: "a:1", Kind: FaultCrash},
+	}}
+	want := []FaultEvent{
+		{At: time.Second, Node: "b:1", Kind: FaultCrash},
+		{At: 2 * time.Second, Node: "a:1", Kind: FaultCrash},
+		{At: 2 * time.Second, Node: "b:1", Kind: FaultRejoin},
+	}
+	if got := s.Ordered(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Ordered() = %v, want %v", got, want)
+	}
+	// The input slice is untouched.
+	if s.Events[0].Node != "b:1" || s.Events[0].At != 2*time.Second {
+		t.Errorf("Ordered() mutated the schedule: %v", s.Events)
+	}
+}
+
+func TestRunFaultsFiresAtVirtualTimes(t *testing.T) {
+	epoch := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	v := vclock.NewVirtual(epoch)
+	s := FaultSchedule{Events: []FaultEvent{
+		{At: 100 * time.Millisecond, Node: "n1", Kind: FaultCrash},
+		{At: 300 * time.Millisecond, Node: "n1", Kind: FaultRejoin},
+	}}
+	type firing struct {
+		e  FaultEvent
+		at time.Duration
+	}
+	var got []firing
+	v.Run(func() {
+		v.Sleep(50 * time.Millisecond) // offsets are relative to the call instant
+		err := RunFaults(v, s, func(e FaultEvent) error {
+			got = append(got, firing{e, v.Now().Sub(epoch)})
+			return nil
+		})
+		if err != nil {
+			t.Errorf("RunFaults: %v", err)
+		}
+	})
+	want := []firing{
+		{s.Events[0], 150 * time.Millisecond},
+		{s.Events[1], 350 * time.Millisecond},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("firings = %v, want %v", got, want)
+	}
+}
+
+func TestRunFaultsStopsOnApplyError(t *testing.T) {
+	epoch := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	v := vclock.NewVirtual(epoch)
+	s := FaultSchedule{Events: []FaultEvent{
+		{At: 10 * time.Millisecond, Node: "n1", Kind: FaultCrash},
+		{At: 20 * time.Millisecond, Node: "n2", Kind: FaultCrash},
+	}}
+	boom := errors.New("boom")
+	var applied int
+	v.Run(func() {
+		err := RunFaults(v, s, func(FaultEvent) error {
+			applied++
+			return boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("RunFaults err = %v, want %v", err, boom)
+		}
+	})
+	if applied != 1 {
+		t.Errorf("applied %d events after error, want 1", applied)
+	}
+}
+
+func TestRunFaultsRejectsInvalidSchedule(t *testing.T) {
+	epoch := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	v := vclock.NewVirtual(epoch)
+	s := FaultSchedule{Events: []FaultEvent{{At: time.Second}}}
+	v.Run(func() {
+		if err := RunFaults(v, s, func(FaultEvent) error { return nil }); err == nil {
+			t.Error("RunFaults accepted an invalid schedule")
+		}
+	})
+}
