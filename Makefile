@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-typed test race check bench repro examples clean
+.PHONY: all build vet lint lint-typed lint-dataflow test race check bench repro examples clean
 
-all: build vet lint lint-typed test race
+all: build vet lint lint-typed lint-dataflow test race
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,12 @@ lint:
 lint-typed:
 	$(GO) run ./cmd/c4h-vet -rule typed ./...
 
+# Dataflow tier: the SSA-lite def-use engine (detflow, guardescape,
+# errsink, hotalloc) — taint propagation through per-function assignment
+# graphs with one-call-deep summaries.
+lint-dataflow:
+	$(GO) run ./cmd/c4h-vet -rule dataflow ./...
+
 test:
 	$(GO) test ./...
 
@@ -30,7 +36,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything CI runs, in CI's order.
-check: build vet lint lint-typed test race
+check: build vet lint lint-typed lint-dataflow test race
 
 # One iteration of every benchmark, with the paper-reproduction metrics.
 # The stream also lands, machine-readable, in BENCH_baseline.json.

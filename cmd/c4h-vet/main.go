@@ -101,8 +101,13 @@ func run(rules []analysis.Rule, allowFile string, asJSON bool, args []string) er
 		}
 	}
 
+	prefixes, err := normalizeArgs(args, m)
+	if err != nil {
+		return err
+	}
+
 	diags := allow.Filter(analysis.Run(m, rules))
-	diags = filterByPaths(diags, args)
+	diags = filterByPaths(diags, prefixes)
 
 	if asJSON {
 		out := make([]jsonDiag, 0, len(diags))
@@ -129,18 +134,61 @@ func run(rules []analysis.Rule, allowFile string, asJSON bool, args []string) er
 	return nil
 }
 
-// filterByPaths restricts diagnostics to the given module-relative
-// prefixes. "./..." (or no arguments) means the whole module.
-func filterByPaths(diags []analysis.Diagnostic, args []string) []analysis.Diagnostic {
+// normalizeArgs validates positional arguments and canonicalises them
+// into deduplicated module-relative path prefixes. nil means "whole
+// module".
+//
+// flag.Parse stops at the first positional argument, so a flag given
+// after a path ("c4h-vet internal/core -json") would otherwise arrive
+// here, match no file, and silently filter every finding away — a
+// false clean exit. "-"-prefixed arguments and prefixes matching
+// nothing in the module are both usage errors instead.
+func normalizeArgs(args []string, m *analysis.Module) ([]string, error) {
 	var prefixes []string
+	wildcard := len(args) == 0
+	seen := map[string]bool{}
 	for _, a := range args {
-		if a == "./..." || a == "..." || a == "." {
-			return diags
+		if strings.HasPrefix(a, "-") {
+			return nil, fmt.Errorf("flag %q after path arguments; flags must come before paths", a)
 		}
-		a = strings.TrimSuffix(a, "/...")
-		a = strings.TrimPrefix(a, "./")
-		prefixes = append(prefixes, strings.Trim(a, "/"))
+		if a == "./..." || a == "..." || a == "." {
+			wildcard = true
+			continue
+		}
+		p := strings.TrimSuffix(a, "/...")
+		p = strings.TrimPrefix(p, "./")
+		p = strings.Trim(p, "/")
+		if p == "" || seen[p] {
+			continue
+		}
+		if !moduleHasPrefix(m, p) {
+			return nil, fmt.Errorf("path %q matches no file in the module", a)
+		}
+		seen[p] = true
+		prefixes = append(prefixes, p)
 	}
+	if wildcard {
+		return nil, nil
+	}
+	return prefixes, nil
+}
+
+// moduleHasPrefix reports whether any file in the module lives under
+// the given module-relative prefix.
+func moduleHasPrefix(m *analysis.Module, prefix string) bool {
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if strings.HasPrefix(f.Path, prefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// filterByPaths restricts diagnostics to the given module-relative
+// prefixes; nil or empty means the whole module.
+func filterByPaths(diags []analysis.Diagnostic, prefixes []string) []analysis.Diagnostic {
 	if len(prefixes) == 0 {
 		return diags
 	}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"cloud4home/internal/analysis"
+)
+
+func testModule() *analysis.Module {
+	return &analysis.Module{
+		Path: "cloud4home",
+		Packages: []*analysis.Package{
+			{Path: "cloud4home/internal/core", Rel: "internal/core", Files: []*analysis.File{
+				{Path: "internal/core/node.go"},
+				{Path: "internal/core/store.go"},
+			}},
+			{Path: "cloud4home/internal/kv", Rel: "internal/kv", Files: []*analysis.File{
+				{Path: "internal/kv/kv.go"},
+			}},
+		},
+	}
+}
+
+func TestNormalizeArgsRejectsMisplacedFlags(t *testing.T) {
+	// flag.Parse stops at the first positional, so a trailing flag
+	// arrives as a positional argument; it must not become a path
+	// filter that silently matches nothing.
+	for _, args := range [][]string{
+		{"internal/core", "-json"},
+		{"-rule", "internal/core"},
+		{"internal/core", "--list"},
+	} {
+		if _, err := normalizeArgs(args, testModule()); err == nil {
+			t.Errorf("normalizeArgs(%q) = nil error, want misplaced-flag error", args)
+		} else if !strings.Contains(err.Error(), "flag") {
+			t.Errorf("normalizeArgs(%q) error %q should mention the flag", args, err)
+		}
+	}
+}
+
+func TestNormalizeArgsRejectsUnknownPrefix(t *testing.T) {
+	if _, err := normalizeArgs([]string{"internal/nosuch"}, testModule()); err == nil {
+		t.Fatalf("a prefix matching no module file must be a usage error, not an empty filter")
+	}
+}
+
+func TestNormalizeArgsCanonicalisesAndDedups(t *testing.T) {
+	got, err := normalizeArgs(
+		[]string{"./internal/core/...", "internal/core/", "internal/kv"},
+		testModule(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"internal/core", "internal/kv"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNormalizeArgsWildcard(t *testing.T) {
+	for _, args := range [][]string{nil, {"./..."}, {"..."}, {"."}, {"./...", "internal/core"}} {
+		got, err := normalizeArgs(args, testModule())
+		if err != nil {
+			t.Fatalf("normalizeArgs(%q): %v", args, err)
+		}
+		if got != nil {
+			t.Errorf("normalizeArgs(%q) = %v, want nil (whole module)", args, got)
+		}
+	}
+}
+
+func TestFilterByPaths(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{RuleID: "wallclock", Pos: token.Position{Filename: "internal/core/node.go", Line: 1}},
+		{RuleID: "wallclock", Pos: token.Position{Filename: "internal/kv/kv.go", Line: 2}},
+	}
+	if got := filterByPaths(diags, nil); len(got) != 2 {
+		t.Errorf("nil prefixes should keep all diagnostics, got %d", len(got))
+	}
+	got := filterByPaths(diags, []string{"internal/kv"})
+	if len(got) != 1 || got[0].Pos.Filename != "internal/kv/kv.go" {
+		t.Errorf("prefix filter kept %v", got)
+	}
+}

@@ -69,11 +69,25 @@ func (al *Allowlist) Allows(d Diagnostic) bool {
 		if strings.HasPrefix(file, e.pattern) {
 			return true
 		}
-		if ok, _ := path.Match(e.pattern, file); ok {
+		if ok, err := path.Match(e.pattern, file); err == nil && ok {
 			return true
 		}
 	}
 	return false
+}
+
+// Format renders the allowlist back into its file syntax, one entry
+// per line. Parsing the result yields an equivalent allowlist
+// (comments and blank lines are not preserved).
+func (al *Allowlist) Format() string {
+	if al == nil || len(al.entries) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range al.entries {
+		fmt.Fprintf(&b, "%s %s\n", e.ruleID, e.pattern)
+	}
+	return b.String()
 }
 
 // Filter drops suppressed diagnostics.

@@ -74,23 +74,40 @@ func TypedRules() []Rule {
 	}
 }
 
+// DataflowRules returns the def-use dataflow rules. They share the
+// typed tier's type information and call graph, plus one def-use
+// summary pass over every function (see defuse.go).
+func DataflowRules() []Rule {
+	return []Rule{
+		DetFlow{},
+		GuardEscape{},
+		ErrSink{},
+		HotAlloc{},
+	}
+}
+
 // DefaultRules returns every rule c4h-vet ships, in reporting order:
-// the fast syntactic tier first, then the typed interprocedural tier.
+// the fast syntactic tier first, then the typed interprocedural tier,
+// then the def-use dataflow tier.
 func DefaultRules() []Rule {
-	return append(SyntacticRules(), TypedRules()...)
+	return append(append(SyntacticRules(), TypedRules()...), DataflowRules()...)
 }
 
 // SelectRules resolves a rule selector: a rule ID, the group names
-// "syntactic" and "typed", or a comma-separated list of either.
+// "syntactic", "typed", and "dataflow", or a comma-separated list of
+// either. Duplicate selections (e.g. "typed,mapiter") collapse to one
+// run of each rule.
 func SelectRules(selector string) ([]Rule, error) {
 	byID := map[string][]Rule{
 		"syntactic": SyntacticRules(),
 		"typed":     TypedRules(),
+		"dataflow":  DataflowRules(),
 	}
 	for _, r := range DefaultRules() {
 		byID[r.ID()] = []Rule{r}
 	}
 	var out []Rule
+	seen := map[string]bool{}
 	for _, id := range strings.Split(selector, ",") {
 		id = strings.TrimSpace(id)
 		if id == "" {
@@ -100,7 +117,13 @@ func SelectRules(selector string) ([]Rule, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown rule %q (see -list)", id)
 		}
-		out = append(out, rs...)
+		for _, r := range rs {
+			if seen[r.ID()] {
+				continue
+			}
+			seen[r.ID()] = true
+			out = append(out, r)
+		}
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty rule selector %q", selector)

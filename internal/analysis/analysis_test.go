@@ -32,6 +32,10 @@ var fixtureRules = map[string]Rule{
 	"guardedfield":   GuardedField{},
 	"mapiter":        MapIter{},
 	"chanhold":       ChanHold{},
+	"detflow":        DetFlow{},
+	"guardescape":    GuardEscape{},
+	"errsink":        ErrSink{},
+	"hotalloc":       HotAlloc{},
 }
 
 func TestFixtures(t *testing.T) {
@@ -265,5 +269,101 @@ func TestLoadModule(t *testing.T) {
 	}
 	if tests == 0 || nonTests == 0 {
 		t.Errorf("netsim file classification off: %d test, %d non-test", tests, nonTests)
+	}
+}
+
+// TestAllowlistFormatRoundTrip pins the Format/Parse round trip:
+// formatting an allowlist and parsing the result yields an equivalent
+// suppression set (comments and blank lines are not preserved).
+func TestAllowlistFormatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "allow")
+	content := "# accepted findings\n" +
+		"wallclock internal/netsim/   # whole directory\n" +
+		"\n" +
+		"globalrand internal/trace/trace.go\n" +
+		"* internal/legacy/*.go\n"
+	if err := os.WriteFile(file, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	al, err := ParseAllowlist(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	formatted := al.Format()
+	if strings.Contains(formatted, "#") {
+		t.Errorf("Format() should not emit comments:\n%s", formatted)
+	}
+	file2 := filepath.Join(dir, "allow2")
+	if err := os.WriteFile(file2, []byte(formatted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	al2, err := ParseAllowlist(file2)
+	if err != nil {
+		t.Fatalf("Format() output failed to re-parse: %v", err)
+	}
+	if got := al2.Format(); got != formatted {
+		t.Errorf("round trip diverged:\nfirst:\n%s\nsecond:\n%s", formatted, got)
+	}
+	// Both allowlists must make identical suppression decisions.
+	probes := []Diagnostic{
+		{RuleID: "wallclock", Pos: token.Position{Filename: "internal/netsim/netsim.go"}},
+		{RuleID: "globalrand", Pos: token.Position{Filename: "internal/trace/trace.go"}},
+		{RuleID: "lockorder", Pos: token.Position{Filename: "internal/legacy/old.go"}},
+		{RuleID: "wallclock", Pos: token.Position{Filename: "internal/core/node.go"}},
+	}
+	for _, d := range probes {
+		if al.Allows(d) != al2.Allows(d) {
+			t.Errorf("round trip changed Allows(%s, %s)", d.RuleID, d.Pos.Filename)
+		}
+	}
+
+	// Empty and nil allowlists format to nothing.
+	if got := (&Allowlist{}).Format(); got != "" {
+		t.Errorf("empty allowlist Format() = %q, want empty", got)
+	}
+	var nilAl *Allowlist
+	if got := nilAl.Format(); got != "" {
+		t.Errorf("nil allowlist Format() = %q, want empty", got)
+	}
+}
+
+// TestSelectRules pins tier selection, single-rule selection, and
+// deduplication across overlapping selectors.
+func TestSelectRules(t *testing.T) {
+	ids := func(rs []Rule) []string {
+		var out []string
+		for _, r := range rs {
+			out = append(out, r.ID())
+		}
+		return out
+	}
+	cases := []struct {
+		selector string
+		want     []string
+	}{
+		{"syntactic", []string{"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak"}},
+		{"typed", []string{"lockorder", "guardedfield", "mapiter", "chanhold"}},
+		{"dataflow", []string{"detflow", "guardescape", "errsink", "hotalloc"}},
+		{"lockorder", []string{"lockorder"}},
+		{"syntactic,wallclock", []string{"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak"}},
+		{"errsink, hotalloc", []string{"errsink", "hotalloc"}},
+	}
+	for _, c := range cases {
+		rs, err := SelectRules(c.selector)
+		if err != nil {
+			t.Errorf("SelectRules(%q): %v", c.selector, err)
+			continue
+		}
+		got := ids(rs)
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("SelectRules(%q) = %v, want %v", c.selector, got, c.want)
+		}
+	}
+	for _, bad := range []string{"nope", "", ",", "typed,nope"} {
+		if _, err := SelectRules(bad); err == nil {
+			t.Errorf("SelectRules(%q) should error", bad)
+		}
 	}
 }

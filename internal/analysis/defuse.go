@@ -1,0 +1,755 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the SSA-lite intraprocedural def-use engine behind the
+// dataflow tier (detflow, guardescape, errsink, hotalloc). Where the
+// lock-flow engine (locktrack.go) tracks *control* facts — which locks
+// are held where — this engine tracks *values*: which sources flow into
+// which variables, and from there into sinks three assignments later.
+//
+// The model is deliberately lighter than real SSA: each variable is one
+// node in a per-function assignment graph, and a variable's fact set is
+// the union over every assignment to it (flow-insensitive def-use).
+// That loses ordering precision inside a function — errsink, which
+// needs ordering, runs its own small flow-sensitive walk instead — but
+// it makes the fixpoint trivially terminating and fast, and it is exact
+// for the property the rules care about: "can this source reach this
+// expression at all".
+//
+// Facts are taint marks with a kind. Value kinds (wall clock, global
+// math/rand) survive any data movement: a duration computed from
+// time.Now stays nondeterministic through arithmetic, conversions, and
+// container round-trips. The order kind (map iteration) is different —
+// it taints *arrangements*, not values — so it dies at order-erasing
+// operations: storing into a map, taking len/cap, sorting the carrier
+// slice, or folding through a commutative integer reduction. The alias
+// kind (used by guardescape) tracks referential identity and dies at
+// copying operations (append onto a fresh base, copy, string/[]byte
+// conversions).
+//
+// Interprocedural depth is one call: a first pass summarises which
+// return values of every module function carry which sources from the
+// function's own body; a second pass makes those summaries visible at
+// static call sites (resolved through the PR-4 call graph), so a helper
+// that launders time.Now through a return value is caught in its
+// caller. Deeper chains are future work; one hop already covers the
+// helper-extraction idiom that defeats the call-site rules.
+
+// taintKind classifies what a mark means.
+type taintKind int
+
+const (
+	// taintWall marks values derived from the wall clock (time.Now,
+	// time.Since, …): different on every run.
+	taintWall taintKind = iota
+	// taintRand marks values drawn from the global math/rand source, or
+	// from a *rand.Rand seeded with a tainted value.
+	taintRand
+	// taintOrder marks arrangements that depend on map iteration order:
+	// a scalar overwritten per iteration (last key wins) or a slice
+	// appended to inside the loop.
+	taintOrder
+	// taintAlias marks expressions that alias a `// guarded by` field —
+	// its address, or the field's own pointer/slice/map/chan value.
+	taintAlias
+)
+
+func (k taintKind) String() string {
+	switch k {
+	case taintWall:
+		return "wall-clock"
+	case taintRand:
+		return "global math/rand"
+	case taintOrder:
+		return "map-iteration order"
+	case taintAlias:
+		return "guarded-field alias"
+	}
+	return "?"
+}
+
+// taintMark is one source reaching a value: what kind, where the source
+// is, and a short human description ("time.Now()", "range over m").
+type taintMark struct {
+	kind taintKind
+	desc string
+	pos  token.Pos
+}
+
+// markSet holds at most one mark per kind (the first witness found);
+// more would only repeat the same diagnostic.
+type markSet map[taintKind]taintMark
+
+func (s markSet) add(m taintMark) bool {
+	if _, ok := s[m.kind]; ok {
+		return false
+	}
+	s[m.kind] = m
+	return true
+}
+
+func (s markSet) addAll(o markSet) bool {
+	changed := false
+	for _, m := range o {
+		if s.add(m) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// sortedMarks returns the set's marks in kind order, for deterministic
+// reporting.
+func (s markSet) sortedMarks() []taintMark {
+	var out []taintMark
+	for _, k := range []taintKind{taintWall, taintRand, taintOrder, taintAlias} {
+		if m, ok := s[k]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// sourceFn classifies an expression as a direct taint source. It is
+// consulted on every sub-expression the engine evaluates; returning a
+// non-nil mark taints the whole enclosing expression.
+type sourceFn func(e ast.Expr) *taintMark
+
+// defUse is the per-function def-use state built by one engine run.
+type defUse struct {
+	df *dataFlow
+	fi *FuncInfo
+	// vars maps every local (param, named result, :=/var local) that an
+	// assignment or range statement defines to its accumulated marks.
+	vars map[types.Object]markSet
+	// sorted records slice-typed locals passed to a sorting call
+	// anywhere in the function: order taint on them is discharged
+	// (the collect-then-sort pattern).
+	sorted map[types.Object]bool
+	// madeWithCap records slice locals whose every definition is a
+	// make([]T, len, cap) with an explicit capacity — the sanctioned
+	// preallocation shape hotalloc's growing-append check accepts.
+	madeWithCap map[types.Object]bool
+	// sources is the rule-supplied source classifier for this run.
+	sources sourceFn
+	// summaries exposes callee return taint (nil on the summary pass).
+	summaries map[*types.Func][]markSet
+}
+
+// dataFlow is the module-level dataflow context, cached on the Module:
+// the type info and call graph shared with the typed tier, plus the
+// one-hop return summaries for the detflow source set.
+type dataFlow struct {
+	m  *Module
+	ti *TypeInfo
+	cg *CallGraph
+	// retSums maps each module function to the taint marks its return
+	// values carry from its own body (pass one of the engine), for the
+	// detflow source set. Index = result position.
+	retSums map[*types.Func][]markSet
+}
+
+// dataFlowResult caches buildDataFlow's outcome on the Module.
+type dataFlowResult struct {
+	df  *dataFlow
+	err error
+}
+
+// DataFlow builds (once) the def-use context for the module.
+func (m *Module) dataFlow() (*dataFlow, error) {
+	if m.defuse == nil {
+		df, err := buildDataFlow(m)
+		m.defuse = &dataFlowResult{df: df, err: err}
+	}
+	return m.defuse.df, m.defuse.err
+}
+
+func buildDataFlow(m *Module) (*dataFlow, error) {
+	ti, err := m.Types()
+	if err != nil {
+		return nil, err
+	}
+	df := &dataFlow{
+		m:       m,
+		ti:      ti,
+		cg:      buildCallGraph(m, ti),
+		retSums: map[*types.Func][]markSet{},
+	}
+	// Pass one: summarise every function's return taint from its own
+	// body, with no callee knowledge. Pass two (inside the rules) runs
+	// with these summaries visible, giving one-call-deep propagation.
+	for _, fi := range df.cg.Funcs {
+		du := df.analyze(fi, detflowSources(df, fi), nil)
+		df.retSums[fi.Obj] = du.returnTaint()
+	}
+	return df, nil
+}
+
+// analyze runs the def-use fixpoint over one function with the given
+// source classifier and (optionally) callee summaries.
+func (df *dataFlow) analyze(fi *FuncInfo, sources sourceFn, summaries map[*types.Func][]markSet) *defUse {
+	du := &defUse{
+		df:          df,
+		fi:          fi,
+		vars:        map[types.Object]markSet{},
+		sorted:      map[types.Object]bool{},
+		madeWithCap: map[types.Object]bool{},
+		sources:     sources,
+		summaries:   summaries,
+	}
+	du.collectKills(fi.Decl.Body)
+	// Fixpoint over the assignment graph: each sweep re-evaluates every
+	// assignment with the marks accumulated so far. Marks only grow and
+	// are bounded (one per kind per variable), so this terminates.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if du.applyAssign(n) {
+					changed = true
+				}
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && du.applyValueSpec(vs) {
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if du.applyRange(n) {
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return du
+}
+
+// collectKills pre-scans for taint-discharging operations: sorting
+// calls (kills order taint on the sorted slice) and capacity-preallocated
+// makes (satisfies hotalloc's append check).
+func (du *defUse) collectKills(body *ast.BlockStmt) {
+	madeOther := map[types.Object]bool{} // defined by something besides a sized make
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(du.df.ti.Info, n)
+			if isSortingFunc(du.df.ti, du.df.cg, callee) {
+				for _, a := range n.Args {
+					ast.Inspect(a, func(an ast.Node) bool {
+						if id, ok := an.(*ast.Ident); ok {
+							if obj := du.objOf(id); obj != nil {
+								du.sorted[obj] = true
+							}
+						}
+						return true
+					})
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				break
+			}
+			for i, l := range n.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := du.objOf(id)
+				if obj == nil {
+					continue
+				}
+				if isMakeWithCap(du.df.ti, n.Rhs[i]) {
+					du.madeWithCap[obj] = true
+				} else if n.Tok == token.DEFINE || n.Tok == token.ASSIGN {
+					// x = append(x, ...) grows the same backing array;
+					// the preallocation guarantee survives.
+					if !isSelfAppend(du.df.ti, obj, du, n.Rhs[i]) {
+						madeOther[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	// A slice redefined by anything other than a sized make loses the
+	// preallocation guarantee.
+	for obj := range madeOther {
+		delete(du.madeWithCap, obj)
+	}
+}
+
+// isSelfAppend matches append(x, ...) assigned back to x (possibly
+// re-sliced, as in append(x[:0], ...)).
+func isSelfAppend(ti *TypeInfo, obj types.Object, du *defUse, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := ti.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	base := ast.Unparen(call.Args[0])
+	if sl, ok := base.(*ast.SliceExpr); ok {
+		base = ast.Unparen(sl.X)
+	}
+	id, ok := base.(*ast.Ident)
+	return ok && du.objOf(id) == obj
+}
+
+// isMakeWithCap matches make([]T, len, cap) — an explicit capacity.
+func isMakeWithCap(ti *TypeInfo, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 3 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	_, isBuiltin := ti.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// objOf resolves an identifier to its object (use or def).
+func (du *defUse) objOf(id *ast.Ident) types.Object {
+	if obj := du.df.ti.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return du.df.ti.Info.Defs[id]
+}
+
+// applyAssign propagates marks across one assignment statement.
+func (du *defUse) applyAssign(s *ast.AssignStmt) bool {
+	changed := false
+	switch {
+	case len(s.Lhs) == len(s.Rhs):
+		for i := range s.Lhs {
+			if du.flowInto(s.Lhs[i], du.exprTaint(s.Rhs[i]), s.Tok) {
+				changed = true
+			}
+		}
+	case len(s.Rhs) == 1:
+		// Multi-value: x, y := f() / v, ok := m[k] — every lhs receives
+		// the rhs marks (per-result precision comes from summaries when
+		// the rhs is a resolved call).
+		marks := du.exprTaint(s.Rhs[0])
+		if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if per := du.calleeReturnTaint(call); per != nil {
+				for i := range s.Lhs {
+					m := marks.clone()
+					if i < len(per) {
+						m.addAll(per[i])
+					}
+					if du.flowInto(s.Lhs[i], m, s.Tok) {
+						changed = true
+					}
+				}
+				return changed
+			}
+		}
+		for i := range s.Lhs {
+			if du.flowInto(s.Lhs[i], marks, s.Tok) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (s markSet) clone() markSet {
+	out := make(markSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// applyValueSpec propagates marks across `var x = e` declarations.
+func (du *defUse) applyValueSpec(vs *ast.ValueSpec) bool {
+	changed := false
+	switch {
+	case len(vs.Values) == len(vs.Names):
+		for i, name := range vs.Names {
+			if du.flowIntoIdent(name, du.exprTaint(vs.Values[i])) {
+				changed = true
+			}
+		}
+	case len(vs.Values) == 1:
+		marks := du.exprTaint(vs.Values[0])
+		for _, name := range vs.Names {
+			if du.flowIntoIdent(name, marks) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// applyRange handles range statements: the key/value variables inherit
+// the ranged expression's value marks, and ranging over a map adds the
+// order mark — the loop variables' succession is randomised even though
+// the key/value *set* is deterministic.
+func (du *defUse) applyRange(s *ast.RangeStmt) bool {
+	marks := du.exprTaint(s.X).clone()
+	if tv, ok := du.df.ti.Info.Types[s.X]; ok {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			marks.add(taintMark{
+				kind: taintOrder,
+				desc: "range over map " + exprString(s.X),
+				pos:  s.Pos(),
+			})
+		}
+	}
+	changed := false
+	for _, v := range []ast.Expr{s.Key, s.Value} {
+		if v == nil {
+			continue
+		}
+		if du.flowInto(v, marks, s.Tok) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// flowInto merges marks into an assignment target. Only identifier and
+// slice-index targets accumulate state: a map index erases order (maps
+// are unordered), and stores through selectors/pointers are the escape
+// analyses' concern, not the local graph's.
+func (du *defUse) flowInto(lhs ast.Expr, marks markSet, tok token.Token) bool {
+	if len(marks) == 0 {
+		return false
+	}
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// Compound integer reductions (sum += v) are commutative and
+		// associative: folding map-ordered values through them produces a
+		// deterministic result, so the order mark does not propagate.
+		if tok != token.ASSIGN && tok != token.DEFINE {
+			if obj := du.objOf(l); obj != nil && isIntegerObj(obj) {
+				marks = marks.clone()
+				delete(marks, taintOrder)
+			}
+		}
+		return du.flowIntoIdent(l, marks)
+	case *ast.IndexExpr:
+		base, ok := ast.Unparen(l.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if tv, ok := du.df.ti.Info.Types[l.X]; ok {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				// Keyed store into an unordered container: order dies here,
+				// value kinds survive in the container's contents.
+				marks = marks.clone()
+				delete(marks, taintOrder)
+			}
+		}
+		return du.flowIntoIdent(base, marks)
+	case *ast.StarExpr:
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			return du.flowIntoIdent(id, marks)
+		}
+	}
+	return false
+}
+
+func (du *defUse) flowIntoIdent(id *ast.Ident, marks markSet) bool {
+	if id.Name == "_" || len(marks) == 0 {
+		return false
+	}
+	obj := du.objOf(id)
+	if obj == nil {
+		return false
+	}
+	set := du.vars[obj]
+	if set == nil {
+		set = markSet{}
+		du.vars[obj] = set
+	}
+	return set.addAll(marks)
+}
+
+func isIntegerObj(obj types.Object) bool {
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// exprTaint evaluates an expression's mark set: direct sources, tainted
+// identifiers, and taint carried through calls and operators.
+func (du *defUse) exprTaint(e ast.Expr) markSet {
+	out := markSet{}
+	du.taintInto(e, out)
+	return out
+}
+
+func (du *defUse) taintInto(e ast.Expr, out markSet) {
+	if e == nil {
+		return
+	}
+	if m := du.sources(e); m != nil {
+		out.add(*m)
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := du.objOf(e); obj != nil {
+			if set, ok := du.vars[obj]; ok {
+				for _, m := range set.sortedMarks() {
+					if m.kind == taintOrder && du.sorted[obj] {
+						continue // collect-then-sort discharges order taint
+					}
+					out.add(m)
+				}
+			}
+		}
+	case *ast.CallExpr:
+		du.callTaint(e, out)
+	case *ast.SelectorExpr:
+		// A field read inherits the base's value marks (x.f where x holds
+		// wall-clock data), but not order/alias: fields are their own
+		// storage locations.
+		base := markSet{}
+		du.taintInto(e.X, base)
+		for _, m := range base.sortedMarks() {
+			if m.kind == taintWall || m.kind == taintRand {
+				out.add(m)
+			}
+		}
+	case *ast.BinaryExpr:
+		du.taintInto(e.X, out)
+		du.taintInto(e.Y, out)
+	case *ast.UnaryExpr:
+		du.taintInto(e.X, out)
+	case *ast.StarExpr:
+		du.taintInto(e.X, out)
+	case *ast.IndexExpr:
+		// Indexing extracts an element *value*: it does not alias the
+		// container itself, so the alias kind stops here. Value and order
+		// kinds carried by the container's contents still flow.
+		base := markSet{}
+		du.taintInto(e.X, base)
+		for _, m := range base.sortedMarks() {
+			if m.kind != taintAlias {
+				out.add(m)
+			}
+		}
+		du.taintInto(e.Index, out)
+	case *ast.SliceExpr:
+		du.taintInto(e.X, out)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				du.taintInto(kv.Value, out)
+				continue
+			}
+			du.taintInto(elt, out)
+		}
+	case *ast.TypeAssertExpr:
+		du.taintInto(e.X, out)
+	case *ast.FuncLit:
+		// A closure value carries no marks itself.
+	}
+}
+
+// callTaint evaluates a call expression's result marks.
+func (du *defUse) callTaint(call *ast.CallExpr, out markSet) {
+	// Builtins first: len/cap/min/max of anything are deterministic
+	// values — no marks cross them. append propagates everything from
+	// its first argument (may share the backing array) but only value
+	// kinds from the appended elements.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := du.df.ti.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap", "min", "max":
+				return
+			case "append":
+				if len(call.Args) > 0 {
+					du.taintInto(call.Args[0], out)
+					for _, a := range call.Args[1:] {
+						elem := markSet{}
+						du.taintInto(a, elem)
+						for _, m := range elem.sortedMarks() {
+							if m.kind != taintAlias {
+								out.add(m)
+							}
+						}
+					}
+				}
+				return
+			case "new":
+				return
+			default:
+				for _, a := range call.Args {
+					du.taintInto(a, out)
+				}
+				return
+			}
+		}
+	}
+	// Conversions (T(x)): value kinds pass through; string/[]byte
+	// conversions copy, which severs aliasing.
+	if tv, ok := du.df.ti.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		arg := markSet{}
+		du.taintInto(call.Args[0], arg)
+		for _, m := range arg.sortedMarks() {
+			if m.kind == taintAlias {
+				continue
+			}
+			out.add(m)
+		}
+		return
+	}
+
+	callee := calleeOf(du.df.ti.Info, call)
+	// Sorting calls return nothing useful and discharge order taint at
+	// the variable level (collectKills); nothing flows out of them.
+	if isSortingFunc(du.df.ti, du.df.cg, callee) {
+		return
+	}
+	// One-hop summaries: a module function's own sources surface at its
+	// call sites (any result position marks the whole expression; the
+	// per-result split happens in applyAssign).
+	if per := du.calleeReturnTaint(call); per != nil {
+		for _, set := range per {
+			out.addAll(set)
+		}
+	}
+	// Conservative argument→result propagation for value kinds: a
+	// function of nondeterministic inputs has nondeterministic outputs.
+	// Order and alias do not cross calls (a callee that launders order
+	// into a value is caught by its own summary).
+	args := markSet{}
+	for _, a := range call.Args {
+		du.taintInto(a, args)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		du.taintInto(sel.X, args) // method receiver counts as an input
+	}
+	for _, m := range args.sortedMarks() {
+		if m.kind == taintWall || m.kind == taintRand {
+			out.add(m)
+		}
+	}
+}
+
+// calleeReturnTaint resolves per-result summary marks for a static call
+// to a module function, when summaries are enabled for this run.
+func (du *defUse) calleeReturnTaint(call *ast.CallExpr) []markSet {
+	if du.summaries == nil {
+		return nil
+	}
+	callee := calleeOf(du.df.ti.Info, call)
+	if callee == nil {
+		return nil
+	}
+	return du.summaries[callee]
+}
+
+// returnTaint computes the function's per-result mark sets from every
+// return statement (and named results at bare returns).
+func (du *defUse) returnTaint() []markSet {
+	sig, ok := du.fi.Obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	out := make([]markSet, sig.Results().Len())
+	for i := range out {
+		out[i] = markSet{}
+	}
+	for _, ret := range du.returns() {
+		for i, set := range du.returnSiteTaint(ret) {
+			if i < len(out) {
+				out[i].addAll(set)
+			}
+		}
+	}
+	// Drop empty sets → nil summary when nothing is tainted.
+	any := false
+	for _, s := range out {
+		if len(s) > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return out
+}
+
+// returns collects the function's return statements, excluding those
+// inside nested function literals (their returns are not this
+// function's).
+func (du *defUse) returns() []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, n)
+		}
+		return true
+	}
+	ast.Inspect(du.fi.Decl.Body, walk)
+	return out
+}
+
+// returnSiteTaint evaluates the marks flowing out of one return site,
+// one set per result position. A bare return reads the named results.
+func (du *defUse) returnSiteTaint(ret *ast.ReturnStmt) []markSet {
+	sig, ok := du.fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	n := sig.Results().Len()
+	out := make([]markSet, n)
+	for i := range out {
+		out[i] = markSet{}
+	}
+	switch {
+	case len(ret.Results) == n:
+		for i, e := range ret.Results {
+			out[i] = du.exprTaint(e)
+		}
+	case len(ret.Results) == 1 && n > 1:
+		// return f() — all results share the call's marks.
+		marks := du.exprTaint(ret.Results[0])
+		if call, ok := ast.Unparen(ret.Results[0]).(*ast.CallExpr); ok {
+			if per := du.calleeReturnTaint(call); per != nil {
+				for i := range out {
+					out[i] = marks.clone()
+					if i < len(per) {
+						out[i].addAll(per[i])
+					}
+				}
+				return out
+			}
+		}
+		for i := range out {
+			out[i] = marks
+		}
+	case len(ret.Results) == 0:
+		for i := 0; i < n; i++ {
+			if v := sig.Results().At(i); v.Name() != "" {
+				if set, ok := du.vars[v]; ok {
+					out[i] = set
+				}
+			}
+		}
+	}
+	return out
+}

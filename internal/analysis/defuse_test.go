@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseEngineModule builds a single-file in-memory module for engine
+// unit tests, mirroring runFixture's setup.
+func parseEngineModule(t *testing.T, src string) *Module {
+	t.Helper()
+	fset := token.NewFileSet()
+	astf, err := parser.ParseFile(fset, "defuse_src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return &Module{
+		Path: "cloud4home",
+		Fset: fset,
+		Packages: []*Package{{
+			Path:  "cloud4home/internal/fixture",
+			Rel:   "internal/fixture",
+			Files: []*File{{Path: "defuse_src.go", AST: astf}},
+		}},
+	}
+}
+
+// engineRun analyses one function with the detflow source set and
+// one-hop summaries enabled, returning the defUse state.
+func engineRun(t *testing.T, src, fn string) *defUse {
+	t.Helper()
+	m := parseEngineModule(t, src)
+	df, err := m.dataFlow()
+	if err != nil {
+		t.Fatalf("dataFlow: %v", err)
+	}
+	for _, fi := range df.cg.Funcs {
+		if fi.Obj != nil && fi.Obj.Name() == fn && fi.Decl != nil && fi.Decl.Body != nil {
+			return df.analyze(fi, detflowSources(df, fi), df.retSums)
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+// returnKinds reports which taint kinds reach any return value of fn.
+func returnKinds(t *testing.T, src, fn string) map[taintKind]bool {
+	t.Helper()
+	du := engineRun(t, src, fn)
+	kinds := map[taintKind]bool{}
+	for _, set := range du.returnTaint() {
+		for _, mk := range set.sortedMarks() {
+			kinds[mk.kind] = true
+		}
+	}
+	return kinds
+}
+
+func TestWallTaintThroughLocals(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func F() int64 {
+	v := time.Now().UnixNano()
+	w := v + 1
+	return w
+}
+`
+	kinds := returnKinds(t, src, "F")
+	if !kinds[taintWall] {
+		t.Errorf("wall-clock taint did not reach the return through local copies")
+	}
+	if kinds[taintOrder] || kinds[taintRand] {
+		t.Errorf("spurious kinds in %v", kinds)
+	}
+}
+
+func TestOrderDischargedBySort(t *testing.T) {
+	base := `package fixture
+
+import "sort"
+
+var _ = sort.Strings
+
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	%s
+	return out
+}
+`
+	unsorted := returnKinds(t, fmt.Sprintf(base, "_ = len(out)"), "Keys")
+	if !unsorted[taintOrder] {
+		t.Errorf("map-order taint should reach the return without a sort")
+	}
+	sorted := returnKinds(t, fmt.Sprintf(base, "sort.Strings(out)"), "Keys")
+	if sorted[taintOrder] {
+		t.Errorf("sort.Strings should discharge order taint before the return")
+	}
+}
+
+func TestOrderKilledByIntegerReduction(t *testing.T) {
+	src := `package fixture
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+`
+	kinds := returnKinds(t, src, "Sum")
+	if kinds[taintOrder] {
+		t.Errorf("commutative integer reduction must not carry order taint")
+	}
+}
+
+func TestOneHopSummary(t *testing.T) {
+	src := `package fixture
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func Via() int64 {
+	v := stamp()
+	return v
+}
+`
+	kinds := returnKinds(t, src, "Via")
+	if !kinds[taintWall] {
+		t.Errorf("one-hop summary should surface stamp's wall-clock taint at its call site")
+	}
+}
+
+func TestMakeWithCapSurvivesSelfAppend(t *testing.T) {
+	src := `package fixture
+
+func Grow(n int, extra []int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	other := make([]int, 0, n)
+	other = extra
+	return append(out, other...)
+}
+`
+	du := engineRun(t, src, "Grow")
+	var sawOut, sawOther bool
+	for obj := range du.madeWithCap {
+		switch obj.Name() {
+		case "out":
+			sawOut = true
+		case "other":
+			sawOther = true
+		}
+	}
+	if !sawOut {
+		t.Errorf("x = append(x, ...) must not revoke the make-with-cap guarantee")
+	}
+	if sawOther {
+		t.Errorf("reassignment from a foreign slice must revoke the make-with-cap guarantee")
+	}
+}
+
+func TestMarkSetOneMarkPerKind(t *testing.T) {
+	s := markSet{}
+	if !s.add(taintMark{kind: taintWall, desc: "first"}) {
+		t.Fatalf("first add should report a change")
+	}
+	if s.add(taintMark{kind: taintWall, desc: "second"}) {
+		t.Errorf("second add of the same kind should be a no-op")
+	}
+	if len(s) != 1 {
+		t.Errorf("markSet holds %d marks, want 1", len(s))
+	}
+	if s[taintWall].desc != "first" {
+		t.Errorf("markSet should keep the first mark per kind, got %q", s[taintWall].desc)
+	}
+}
+
+func TestIsMakeWithCap(t *testing.T) {
+	src := `package fixture
+
+func F(n int) ([]int, []int, []int) {
+	a := make([]int, 0, n)
+	b := make([]int, n)
+	c := []int{1}
+	return a, b, c
+}
+`
+	m := parseEngineModule(t, src)
+	ti, err := m.Types()
+	if err != nil {
+		t.Fatalf("types: %v", err)
+	}
+	found := map[string]bool{}
+	ast.Inspect(m.Packages[0].Files[0].AST, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				found[id.Name] = isMakeWithCap(ti, as.Rhs[i])
+			}
+		}
+		return true
+	})
+	if !found["a"] {
+		t.Errorf("make([]int, 0, n) should count as make-with-cap")
+	}
+	if found["b"] {
+		t.Errorf("make([]int, n) has no explicit capacity")
+	}
+	if found["c"] {
+		t.Errorf("a slice literal is not a sized make")
+	}
+}

@@ -1,0 +1,617 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrSink finds error values that die unobserved on the data path:
+//
+//   - an error assigned to a variable and overwritten before anything
+//     reads it — including across loop iterations, where "keep only the
+//     last error" silently drops every earlier failure (exactly how a
+//     retry ladder's real cause disappears);
+//   - an error assigned and never read before the function returns;
+//   - an error result explicitly discarded with `_` at a call site;
+//   - a module-internal call whose results (which include an error)
+//     are dropped entirely as a statement.
+//
+// Unlike the taint rules this needs ordering, so it runs its own small
+// flow-sensitive walk: per-branch pending-write sets, merged at joins,
+// with loop bodies walked twice to see cross-iteration overwrites.
+// Deliberate best-effort idioms stay silent: discards inside deferred
+// cleanup literals are exempt, a variable read anywhere by a closure or
+// goroutine is treated as observed, and `_ = err` of a plain identifier
+// counts as a read, not a discard.
+type ErrSink struct{}
+
+// ID implements Rule.
+func (ErrSink) ID() string { return "errsink" }
+
+// Doc implements Rule.
+func (ErrSink) Doc() string {
+	return "errors on the data path must be read before being overwritten, returned past, or discarded"
+}
+
+// errSinkScope: the root package and every internal package are the
+// data path; cmd and examples are interactive best-effort territory.
+func errSinkScope(rel string) bool {
+	return rel == "" || strings.HasPrefix(rel, "internal/")
+}
+
+// Check implements Rule.
+func (ErrSink) Check(m *Module) []Diagnostic {
+	df, err := m.dataFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("errsink", err)}
+	}
+	var ds []Diagnostic
+	for _, fi := range df.cg.Funcs {
+		if !errSinkScope(fi.Pkg.Rel) {
+			continue
+		}
+		w := &errWalker{
+			m:        m,
+			df:       df,
+			fi:       fi,
+			diags:    map[token.Pos]Diagnostic{},
+			suppress: map[types.Object]bool{},
+		}
+		w.run()
+		ds = append(ds, w.sorted()...)
+	}
+	return ds
+}
+
+// errPend is the walker state: for each error variable, the positions
+// of writes not yet observed by a read.
+type errPend map[types.Object]map[token.Pos]bool
+
+func (p errPend) clone() errPend {
+	out := make(errPend, len(p))
+	for obj, set := range p {
+		s := make(map[token.Pos]bool, len(set))
+		for pos := range set {
+			s[pos] = true
+		}
+		out[obj] = s
+	}
+	return out
+}
+
+func (p errPend) union(o errPend) errPend {
+	out := p.clone()
+	for obj, set := range o {
+		if out[obj] == nil {
+			out[obj] = map[token.Pos]bool{}
+		}
+		for pos := range set {
+			out[obj][pos] = true
+		}
+	}
+	return out
+}
+
+// errWalker runs the flow-sensitive scan over one function.
+type errWalker struct {
+	m     *Module
+	df    *dataFlow
+	fi    *FuncInfo
+	diags map[token.Pos]Diagnostic
+	// suppress holds variables observed by a closure, goroutine, or
+	// deferred function: their lifetime escapes this walk's ordering, so
+	// never-read flags would be unsound. Overwrite flags stay: a
+	// deferred reader still sees only the final value.
+	suppress map[types.Object]bool
+	// deferOnly holds variables read only by deferred literals — exempt
+	// from end-of-function flags but still overwrite-checked.
+	deferOnly map[types.Object]bool
+}
+
+func (w *errWalker) run() {
+	w.deferOnly = map[types.Object]bool{}
+	st, term := w.walkStmts(w.fi.Decl.Body.List, errPend{})
+	if !term {
+		w.flagPending(st, "the function returns without reading it")
+	}
+	w.sweepLiterals()
+}
+
+// sweepLiterals applies the statement-local checks — `_` discards and
+// dropped calls — inside function literals, which the flow walk skips.
+// Literals deferred directly (`defer func() { … }()`) are best-effort
+// cleanup and stay exempt.
+func (w *errWalker) sweepLiterals() {
+	deferred := map[*ast.FuncLit]bool{}
+	ast.Inspect(w.fi.Decl.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if fl, ok := d.Call.Fun.(*ast.FuncLit); ok {
+				deferred[fl] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(w.fi.Decl.Body, func(n ast.Node) bool {
+		fl, ok := n.(*ast.FuncLit)
+		if !ok || deferred[fl] {
+			return true
+		}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				return false
+			case *ast.ExprStmt:
+				w.checkDroppedCall(n.X)
+			case *ast.AssignStmt:
+				for i, l := range n.Lhs {
+					if id, ok := ast.Unparen(l).(*ast.Ident); ok && id.Name == "_" {
+						w.checkBlankDiscard(n, i)
+					}
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+func (w *errWalker) sorted() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range w.diags {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	return out
+}
+
+func (w *errWalker) flag(pos token.Pos, msg, suggestion string) {
+	if _, ok := w.diags[pos]; ok {
+		return
+	}
+	w.diags[pos] = Diagnostic{
+		RuleID:     "errsink",
+		Pos:        position(w.m, pos),
+		Message:    msg + " in " + funcDisplayName(w.m.Path, w.fi.Obj),
+		Suggestion: suggestion,
+	}
+}
+
+func (w *errWalker) flagPending(st errPend, how string) {
+	for obj, set := range st {
+		if w.suppress[obj] || w.deferOnly[obj] {
+			continue
+		}
+		for pos := range set {
+			w.flag(pos, fmt.Sprintf("error assigned to %s here is never read — %s", obj.Name(), how),
+				"check, return, or aggregate the error; a silently dropped failure skews availability accounting")
+		}
+	}
+}
+
+// isErrorType matches the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func (w *errWalker) errObj(id *ast.Ident) types.Object {
+	obj := w.df.ti.Info.Uses[id]
+	if obj == nil {
+		obj = w.df.ti.Info.Defs[id]
+	}
+	if obj == nil || !isErrorType(obj.Type()) {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+// scanReads clears pending state for every error variable the
+// expression observes. Function literals get special handling: their
+// reads may happen at any later time, so the variables they capture are
+// suppressed outright (deferred literals get the weaker deferOnly
+// treatment from walkDefer instead).
+func (w *errWalker) scanReads(e ast.Expr, st errPend) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.captureReads(n, st, false)
+			return false
+		case *ast.Ident:
+			if obj := w.errObj(n); obj != nil {
+				delete(st, obj)
+			}
+		}
+		return true
+	})
+}
+
+// captureReads marks error variables read inside a literal. deferOnly
+// literals keep overwrite checking alive; others suppress entirely.
+func (w *errWalker) captureReads(fl *ast.FuncLit, st errPend, deferLit bool) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.errObj(id)
+		if obj == nil {
+			return true
+		}
+		// Only captures (declared outside the literal) matter here.
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		if deferLit {
+			w.deferOnly[obj] = true
+		} else {
+			w.suppress[obj] = true
+			delete(st, obj)
+		}
+		return true
+	})
+}
+
+func (w *errWalker) walkStmts(stmts []ast.Stmt, st errPend) (errPend, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = w.walkStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *errWalker) walkStmt(s ast.Stmt, st errPend) (errPend, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		w.scanReads(s.X, st)
+		w.checkDroppedCall(s.X)
+	case *ast.AssignStmt:
+		w.applyAssign(s, st)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanReads(v, st)
+					}
+					// `var err error = f()` is a write like any other.
+					if len(vs.Values) > 0 {
+						for _, name := range vs.Names {
+							if obj := w.errObj(name); obj != nil {
+								w.recordWrite(obj, name.Pos(), st)
+							}
+						}
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.scanReads(s.Chan, st)
+		w.scanReads(s.Value, st)
+	case *ast.IncDecStmt:
+		w.scanReads(s.X, st)
+	case *ast.DeferStmt:
+		w.walkDefer(s, st)
+	case *ast.GoStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.captureGoroutine(fl, st)
+		}
+		for _, a := range s.Call.Args {
+			w.scanReads(a, st)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanReads(e, st)
+		}
+		w.clearNamedResults(s, st)
+		w.flagPending(st, "this return path drops it")
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		w.scanReads(s.Cond, st)
+		thenSt, thenTerm := w.walkStmts(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = w.walkStmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return thenSt.union(elseSt), false
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scanReads(s.Tag, st)
+		}
+		return w.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if as, ok := s.Assign.(*ast.AssignStmt); ok {
+			for _, e := range as.Rhs {
+				w.scanReads(e, st)
+			}
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			w.scanReads(es.X, st)
+		}
+		return w.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scanReads(s.Cond, st)
+		}
+		// Two passes: the second sees writes pending from the first, so
+		// "err overwritten on the next iteration" is caught.
+		once, _ := w.walkStmts(s.Body.List, st.clone())
+		if s.Post != nil {
+			once, _ = w.walkStmt(s.Post, once)
+		}
+		again, _ := w.walkStmts(s.Body.List, once.clone())
+		if s.Post != nil {
+			w.walkStmt(s.Post, again)
+		}
+		return st.union(once), false
+	case *ast.RangeStmt:
+		w.scanReads(s.X, st)
+		once, _ := w.walkStmts(s.Body.List, st.clone())
+		w.walkStmts(s.Body.List, once.clone())
+		return st.union(once), false
+	}
+	return st, false
+}
+
+func (w *errWalker) walkCases(body *ast.BlockStmt, st errPend) (errPend, bool) {
+	var merged errPend
+	hasDefault := false
+	anyFall := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.scanReads(e, st)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				st, _ = w.walkStmt(c.Comm, st)
+			}
+			stmts = c.Body
+		}
+		caseSt, term := w.walkStmts(stmts, st.clone())
+		if !term {
+			anyFall = true
+			if merged == nil {
+				merged = caseSt
+			} else {
+				merged = merged.union(caseSt)
+			}
+		}
+	}
+	if !hasDefault {
+		if merged == nil {
+			merged = st
+		} else {
+			merged = merged.union(st)
+		}
+		anyFall = true
+	}
+	if !anyFall {
+		return st, true
+	}
+	return merged, false
+}
+
+// applyAssign processes reads, `_` discards, and error-variable writes
+// of one assignment.
+func (w *errWalker) applyAssign(s *ast.AssignStmt, st errPend) {
+	for _, e := range s.Rhs {
+		w.scanReads(e, st)
+	}
+	for _, l := range s.Lhs {
+		// Index/selector components of the target are reads.
+		if _, ok := ast.Unparen(l).(*ast.Ident); !ok {
+			w.scanReads(l, st)
+		}
+	}
+	if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+		// Compound assignment reads the target first.
+		for _, l := range s.Lhs {
+			w.scanReads(l, st)
+		}
+	}
+	for i, l := range s.Lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if id.Name == "_" {
+			w.checkBlankDiscard(s, i)
+			continue
+		}
+		if obj := w.errObj(id); obj != nil {
+			w.recordWrite(obj, id.Pos(), st)
+		}
+	}
+}
+
+// recordWrite flags any still-pending previous write (overwritten
+// before read) and makes this write the pending one.
+func (w *errWalker) recordWrite(obj types.Object, pos token.Pos, st errPend) {
+	if w.suppress[obj] {
+		return
+	}
+	if pend, ok := st[obj]; ok {
+		here := position(w.m, pos)
+		for old := range pend {
+			if old == pos {
+				// The same write reached on the next loop iteration.
+				w.flag(old, fmt.Sprintf("error assigned to %s here is overwritten on the next loop iteration before being read", obj.Name()),
+					"check the error inside the loop, or aggregate with errors.Join before moving on")
+				continue
+			}
+			w.flag(old, fmt.Sprintf("error assigned to %s here is overwritten at line %d before being read", obj.Name(), here.Line),
+				"check the error before reassigning, or aggregate both errors")
+		}
+	}
+	st[obj] = map[token.Pos]bool{pos: true}
+}
+
+// clearNamedResults treats a bare return as reading the function's
+// named error results.
+func (w *errWalker) clearNamedResults(ret *ast.ReturnStmt, st errPend) {
+	if len(ret.Results) != 0 {
+		return
+	}
+	sig, ok := w.fi.Obj.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if v := sig.Results().At(i); v.Name() != "" && isErrorType(v.Type()) {
+			delete(st, v)
+		}
+	}
+}
+
+// checkBlankDiscard flags `_` positions that throw away an error result
+// of a call. Reading a plain identifier into `_` is a deliberate
+// observation, not a discard.
+func (w *errWalker) checkBlankDiscard(s *ast.AssignStmt, i int) {
+	var t types.Type
+	var call *ast.CallExpr
+	switch {
+	case len(s.Rhs) == len(s.Lhs):
+		c, isCall := ast.Unparen(s.Rhs[i]).(*ast.CallExpr)
+		if !isCall {
+			return
+		}
+		if tv, ok := w.df.ti.Info.Types[s.Rhs[i]]; ok {
+			t = tv.Type
+		}
+		call = c
+	case len(s.Rhs) == 1:
+		c, isCall := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !isCall {
+			return
+		}
+		tv, ok := w.df.ti.Info.Types[s.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, isTuple := tv.Type.(*types.Tuple)
+		if !isTuple || i >= tuple.Len() {
+			return
+		}
+		t = tuple.At(i).Type()
+		call = c
+	default:
+		return
+	}
+	if t == nil || !isErrorType(t) {
+		return
+	}
+	// `_ = x.Close()` is canonical best-effort cleanup; the interesting
+	// Close errors (write-back failures) belong to deliberate callers.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		return
+	}
+	callPos := call.Pos()
+	w.flag(s.Lhs[i].Pos(), "error result discarded with _",
+		"handle the error, or record the degraded outcome (a counter, a returned aggregate) instead of dropping it; pos "+position(w.m, callPos).String())
+}
+
+// checkDroppedCall flags statement-level calls to module functions
+// whose results include an error: the whole result tuple vanishes.
+func (w *errWalker) checkDroppedCall(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := calleeOf(w.df.ti.Info, call)
+	if callee == nil {
+		return
+	}
+	if _, inModule := w.df.cg.ByObj[callee]; !inModule {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			w.flag(call.Pos(), fmt.Sprintf("error result of %s dropped entirely", funcDisplayName(w.m.Path, callee)),
+				"assign and check the error, or make the callee's failure impossible and remove its error result")
+			return
+		}
+	}
+}
+
+// walkDefer handles deferred work: argument evaluation reads now;
+// deferred literals' captured reads count as reads-at-return; error
+// results of the deferred call itself are best-effort cleanup and
+// exempt.
+func (w *errWalker) walkDefer(s *ast.DeferStmt, st errPend) {
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		w.captureReads(fl, st, true)
+		return
+	}
+	for _, a := range s.Call.Args {
+		w.scanReads(a, st)
+	}
+}
+
+// captureGoroutine suppresses variables a spawned goroutine observes:
+// its reads happen at an unknowable point, so no ordering claim about
+// them is sound.
+func (w *errWalker) captureGoroutine(fl *ast.FuncLit, st errPend) {
+	w.capturReadsInto(fl, st)
+}
+
+func (w *errWalker) capturReadsInto(fl *ast.FuncLit, st errPend) {
+	w.captureReads(fl, st, false)
+}

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GuardEscape extends guardedfield from access-checking to
+// alias-checking. guardedfield verifies each *touch* of a
+// `// guarded by <mu>` field happens with the mutex held; it cannot see
+// the field's protection being subverted wholesale — an alias that
+// outlives the critical section, through which later reads and writes
+// bypass the lock entirely. This rule tracks those aliases with the
+// def-use engine and flags the escapes:
+//
+//   - the field's address (&x.f, any field type) or the field's own
+//     reference value (pointer, slice, map, chan, or func field)
+//     returned to a caller — who holds no lock by the time it looks;
+//   - the alias stored outside the owning struct: into a package-level
+//     variable or a field of another value;
+//   - the alias sent on a channel — the receiver runs under its own
+//     lock discipline, or none;
+//   - the alias captured by a `go`-spawned function literal, which runs
+//     after the spawning critical section may have been released.
+//
+// The constructor exemption matches guardedfield's: aliases taken while
+// the value is still a fresh, function-private local (&T{…}, new(T))
+// are the standard initialisation pattern and stay silent. Copying
+// operations (append onto a nil/fresh base, copy, string/[]byte
+// conversions) sever the alias, so snapshot-under-lock-then-return
+// stays clean.
+type GuardEscape struct{}
+
+// ID implements Rule.
+func (GuardEscape) ID() string { return "guardescape" }
+
+// Doc implements Rule.
+func (GuardEscape) Doc() string {
+	return "aliases of `// guarded by` fields must not escape the critical section (returned, stored out, sent, or captured by a goroutine)"
+}
+
+// Check implements Rule.
+func (GuardEscape) Check(m *Module) []Diagnostic {
+	lf, err := m.lockFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("guardescape", err)}
+	}
+	df, err := m.dataFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("guardescape", err)}
+	}
+	var ds []Diagnostic
+	for _, fi := range df.cg.Funcs {
+		ds = append(ds, checkGuardEscapes(m, df, lf, fi)...)
+	}
+	return ds
+}
+
+// guardEscapeSources classifies alias births: &x.f for any guarded
+// field, or x.f itself when the field has reference type. Accesses
+// through a fresh (constructor-private) base are exempt.
+func guardEscapeSources(df *dataFlow, lf *lockFlow, fresh map[types.Object]bool) sourceFn {
+	return func(e ast.Expr) *taintMark {
+		switch e := e.(type) {
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return nil
+			}
+			sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			if field := guardedFieldOf(df, lf, sel, fresh); field != nil {
+				return &taintMark{
+					kind: taintAlias,
+					desc: "&" + exprString(sel.X) + "." + field.Name(),
+					pos:  e.Pos(),
+				}
+			}
+		case *ast.SelectorExpr:
+			field := guardedFieldOf(df, lf, e, fresh)
+			if field == nil || !isRefType(field.Type()) {
+				return nil
+			}
+			return &taintMark{
+				kind: taintAlias,
+				desc: exprString(e.X) + "." + field.Name(),
+				pos:  e.Pos(),
+			}
+		}
+		return nil
+	}
+}
+
+// guardedFieldOf resolves a selector to a guarded field, or nil if the
+// selector is something else (or its base is constructor-fresh).
+func guardedFieldOf(df *dataFlow, lf *lockFlow, sel *ast.SelectorExpr, fresh map[types.Object]bool) *types.Var {
+	selection, ok := df.ti.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, guarded := lf.guarded[field]; !guarded {
+		return nil
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj := df.ti.Info.Uses[id]; obj != nil && fresh[obj] {
+			return nil
+		}
+	}
+	return field
+}
+
+// isRefType reports whether holding a value of t aliases shared
+// storage: pointers, slices, maps, channels, and funcs do; scalars,
+// strings, structs, and interfaces (whose common guarded use is an
+// immutable error) do not.
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// collectFresh finds locals bound to freshly-constructed values
+// anywhere in the function — the flow-insensitive cousin of the
+// lock-flow walker's fresh tracking, sufficient because constructors
+// assign once.
+func collectFresh(df *dataFlow, fi *FuncInfo) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if !isFreshExpr(as.Rhs[i]) {
+				continue
+			}
+			if obj := df.ti.Info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			} else if obj := df.ti.Info.Uses[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// checkGuardEscapes analyses one function and reports every escape.
+func checkGuardEscapes(m *Module, df *dataFlow, lf *lockFlow, fi *FuncInfo) []Diagnostic {
+	fresh := collectFresh(df, fi)
+	du := df.analyze(fi, guardEscapeSources(df, lf, fresh), nil)
+
+	var ds []Diagnostic
+	report := func(n ast.Node, marks markSet, how, suggestion string) {
+		mk, ok := marks[taintAlias]
+		if !ok {
+			return
+		}
+		ds = append(ds, Diagnostic{
+			RuleID: "guardescape",
+			Pos:    position(m, n.Pos()),
+			Message: fmt.Sprintf("alias of guarded field %s %s in %s",
+				mk.desc, how, funcDisplayName(m.Path, fi.Obj)),
+			Suggestion: suggestion,
+		})
+	}
+
+	aliasOf := func(e ast.Expr) markSet { return du.exprTaint(e) }
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				report(n, aliasOf(e), "escapes via return",
+					"return a copy made under the lock, or document and lift the guard")
+			}
+		case *ast.SendStmt:
+			report(n, aliasOf(n.Value), "escapes via channel send",
+				"send a copy; the receiver is outside this critical section")
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				if i >= len(n.Rhs) && len(n.Rhs) != 1 {
+					break
+				}
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				marks := aliasOf(rhs)
+				if _, ok := marks[taintAlias]; !ok {
+					continue
+				}
+				switch lhs := ast.Unparen(l).(type) {
+				case *ast.Ident:
+					if obj := du.objOf(lhs); obj != nil && isPkgLevel(obj) {
+						report(n, marks, "stored in package-level variable "+lhs.Name,
+							"keep the alias inside the critical section, or guard the global too")
+					}
+				case *ast.SelectorExpr:
+					if storesOutsideOwner(df, lf, lhs, marks, fresh) {
+						report(n, marks, "stored outside its owning struct ("+exprString(lhs)+")",
+							"store a copy, or move the field under the destination's own guard")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			ds = append(ds, checkGoCapture(m, df, du, fi, n)...)
+		}
+		return true
+	})
+	return ds
+}
+
+// isPkgLevel reports whether the object is a package-scope variable.
+func isPkgLevel(obj types.Object) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+// storesOutsideOwner reports whether a selector store target lives
+// outside the struct that owns the aliased guarded field: storing
+// x.f into y.cache publishes the alias under y's (different or absent)
+// lock discipline. Same-base stores and stores into fresh locals are
+// not escapes.
+func storesOutsideOwner(df *dataFlow, lf *lockFlow, lhs *ast.SelectorExpr, marks markSet, fresh map[types.Object]bool) bool {
+	mk := marks[taintAlias]
+	// Same rendered base ("n" in both n.f and n.cache) keeps the alias
+	// inside the owner; a different base publishes it.
+	srcBase := mk.desc
+	if i := lastDot(srcBase); i >= 0 {
+		srcBase = srcBase[:i]
+	}
+	srcBase = trimAmp(srcBase)
+	dstBase := exprString(lhs.X)
+	if dstBase == srcBase {
+		return false
+	}
+	if id, ok := ast.Unparen(lhs.X).(*ast.Ident); ok {
+		if obj := df.ti.Info.Uses[id]; obj != nil && fresh[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+func trimAmp(s string) string {
+	if len(s) > 0 && s[0] == '&' {
+		return s[1:]
+	}
+	return s
+}
+
+// checkGoCapture flags aliases reaching a spawned goroutine: captured
+// inside the literal's body, or passed as arguments to the go call.
+// Direct guarded-field selectors inside the goroutine are guardedfield's
+// jurisdiction (it already knows goroutines start with nothing held);
+// this check covers the aliases guardedfield cannot see.
+func checkGoCapture(m *Module, df *dataFlow, du *defUse, fi *FuncInfo, g *ast.GoStmt) []Diagnostic {
+	var ds []Diagnostic
+	report := func(n ast.Node, mk taintMark) {
+		ds = append(ds, Diagnostic{
+			RuleID: "guardescape",
+			Pos:    position(m, n.Pos()),
+			Message: fmt.Sprintf("alias of guarded field %s escapes into a spawned goroutine in %s",
+				mk.desc, funcDisplayName(m.Path, fi.Obj)),
+			Suggestion: "pass a copy to the goroutine, or have it reacquire the guard and re-read the field",
+		})
+	}
+	for _, a := range g.Call.Args {
+		marks := du.exprTaint(a)
+		if mk, ok := marks[taintAlias]; ok {
+			report(a, mk)
+		}
+	}
+	fl, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return ds
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := df.ti.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		// Captured from the enclosing function (declared outside the
+		// literal) and carrying an alias mark.
+		if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+			return true
+		}
+		if set, ok := du.vars[obj]; ok {
+			if mk, has := set[taintAlias]; has {
+				seen[obj] = true
+				report(id, mk)
+			}
+		}
+		return true
+	})
+	return ds
+}

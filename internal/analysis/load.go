@@ -45,6 +45,8 @@ type Module struct {
 	typed *typedResult
 	// flow caches the lock-flow summaries built on top of it.
 	flow *lockFlowResult
+	// defuse caches the def-use dataflow context built on top of both.
+	defuse *dataFlowResult
 }
 
 // FindModuleRoot walks upward from dir until it finds go.mod.

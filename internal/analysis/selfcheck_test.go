@@ -40,6 +40,7 @@ func TestRuleMetadata(t *testing.T) {
 	want := []string{
 		"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak",
 		"lockorder", "guardedfield", "mapiter", "chanhold",
+		"detflow", "guardescape", "errsink", "hotalloc",
 	}
 	rules := DefaultRules()
 	if len(rules) != len(want) {

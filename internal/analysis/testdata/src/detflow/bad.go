@@ -1,0 +1,38 @@
+// Nondeterministic values flowing into sinks: wall-clock readings
+// reaching returns (directly and laundered through a helper), map
+// iteration order reaching a returned slice, and a tainted atomic
+// counter update.
+package fixture
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+var ops atomic.Int64
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock value"
+}
+
+func Deadline() int64 {
+	d := time.Now().UnixNano() + 50
+	return d // want "wall-clock value"
+}
+
+func ViaHelper() int64 {
+	v := stamp()
+	return v // want "wall-clock value"
+}
+
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want "map-iteration order value"
+}
+
+func Bump() {
+	ops.Add(time.Now().Unix()) // want "atomic counter"
+}

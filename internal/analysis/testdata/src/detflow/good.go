@@ -1,0 +1,35 @@
+// Deterministic flows the rule must not flag: order discharged by
+// sorting before return, commutative integer reduction over a map, and
+// an injected clock interface instead of the wall clock.
+package fixture
+
+import "sort"
+
+type clock interface {
+	Nanos() int64
+}
+
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func InjectedDeadline(c clock) int64 {
+	return c.Nanos() + 50
+}
+
+func Count(m map[string]int) int {
+	return len(m)
+}

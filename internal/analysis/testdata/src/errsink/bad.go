@@ -1,0 +1,45 @@
+// Errors lost before anyone reads them: discarded with _, dropped
+// entirely, overwritten by a second assignment, clobbered across loop
+// iterations, and left unread at return.
+package fixture
+
+import "errors"
+
+func work() error {
+	return errors.New("boom")
+}
+
+func value() (int, error) {
+	return 0, errors.New("boom")
+}
+
+func Discard() int {
+	v, _ := value() // want "error result discarded with _"
+	return v
+}
+
+func Dropped() {
+	work() // want "dropped entirely"
+}
+
+func Overwrite() error {
+	err := work() // want "overwritten at line"
+	err = work()
+	return err
+}
+
+func LoopClobber(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		err = work() // want "overwritten on the next loop iteration"
+	}
+	return err
+}
+
+func PathDrop(flag bool) error {
+	err := work() // want "never read"
+	if flag {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Error handling the rule must accept: checked branches, direct
+// returns, accumulation into a slice, deferred readers, and the Close
+// discard idiom.
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+var healthy bool
+
+func job() error {
+	return errors.New("boom")
+}
+
+func Checked() error {
+	if err := job(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func Direct() error {
+	return job()
+}
+
+func Accumulate(n int) error {
+	var errs []error
+	for i := 0; i < n; i++ {
+		if err := job(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func DeferObserve() {
+	var err error
+	defer func() {
+		healthy = err == nil
+	}()
+	err = job()
+}
+
+func CloseQuietly(c io.Closer) {
+	_ = c.Close()
+}

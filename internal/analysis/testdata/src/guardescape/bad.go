@@ -1,0 +1,52 @@
+// Aliases of `// guarded by` fields escaping the critical section:
+// returned directly, stored in a package-level variable, sent on a
+// channel, stored into a foreign struct, and captured by a goroutine.
+package fixture
+
+import "sync"
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	buf   []byte         // guarded by mu
+}
+
+type sink struct {
+	data []byte
+}
+
+var leaked []byte
+
+func (r *registry) Items() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items // want "escapes via return"
+}
+
+func (r *registry) LeakGlobal() {
+	r.mu.Lock()
+	leaked = r.buf // want "stored in package-level variable"
+	r.mu.Unlock()
+}
+
+func (r *registry) Send(ch chan []byte) {
+	r.mu.Lock()
+	b := r.buf
+	r.mu.Unlock()
+	ch <- b // want "escapes via channel send"
+}
+
+func (r *registry) StoreOut(s *sink) {
+	r.mu.Lock()
+	s.data = r.buf // want "stored outside its owning struct"
+	r.mu.Unlock()
+}
+
+func (r *registry) Spawn() {
+	r.mu.Lock()
+	b := r.buf
+	r.mu.Unlock()
+	go func() {
+		_ = len(b) // want "escapes into a spawned goroutine"
+	}()
+}

@@ -1,0 +1,45 @@
+// Safe handling of guarded state: copies made under the lock, element
+// values extracted from guarded containers, and fresh locals built in a
+// constructor before the struct is shared.
+package fixture
+
+import "sync"
+
+type table struct {
+	mu    sync.Mutex
+	items map[string]int // guarded by mu
+	buf   []byte         // guarded by mu
+}
+
+func newTable() *table {
+	t := &table{}
+	t.items = make(map[string]int)
+	t.buf = make([]byte, 0, 64)
+	return t
+}
+
+func (t *table) Snapshot() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]byte, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+func (t *table) Get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.items[k]
+}
+
+func (t *table) AppendCopy() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]byte(nil), t.buf...)
+}
+
+func (t *table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}

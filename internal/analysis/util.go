@@ -77,6 +77,15 @@ func exprString(e ast.Expr) string {
 		return exprString(e.Fun) + "(…)"
 	case *ast.BasicLit:
 		return e.Value
+	case *ast.ArrayType:
+		if e.Len == nil {
+			return "[]" + exprString(e.Elt)
+		}
+		return "[" + exprString(e.Len) + "]" + exprString(e.Elt)
+	case *ast.MapType:
+		return "map[" + exprString(e.Key) + "]" + exprString(e.Value)
+	case *ast.SliceExpr:
+		return exprString(e.X) + "[…]"
 	default:
 		return "?"
 	}

@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -119,7 +120,7 @@ func New(opts Options) (*Testbed, error) {
 		if err != nil {
 			return
 		}
-		tb.PublishResources()
+		err = tb.PublishResources()
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: build testbed: %w", err)
@@ -158,11 +159,16 @@ func (tb *Testbed) AllNodes() []*core.Node {
 }
 
 // PublishResources pushes a fresh resource record for every node; call
-// from inside Run (or rely on the periodic monitors).
-func (tb *Testbed) PublishResources() {
+// from inside Run (or rely on the periodic monitors). Nodes that fail
+// to publish are reported in the joined error; the rest still publish.
+func (tb *Testbed) PublishResources() error {
+	var errs []error
 	for _, n := range tb.AllNodes() {
-		_ = n.Monitor().PublishOnce()
+		if err := n.Monitor().PublishOnce(); err != nil {
+			errs = append(errs, fmt.Errorf("publish %s: %w", n.Addr(), err))
+		}
 	}
+	return errors.Join(errs...)
 }
 
 // StartMonitors launches every node's periodic resource publisher.

@@ -150,7 +150,9 @@ func (s *Session) DeleteObject(name string) error {
 		if rep != s.node {
 			s.node.home.net.Message(s.node.lanPathTo(rep))
 		}
-		_ = rep.store.Delete(meta.Name)
+		if err := rep.store.Delete(meta.Name); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+			return err
+		}
 	}
 	s.node.home.invalidateDataCaches(meta.Name)
 	if err := s.node.home.kv.Delete(s.node.id, meta.Key()); err != nil && !errors.Is(err, kv.ErrNotFound) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -152,19 +153,25 @@ func (h *Home) Nodes() []*Node {
 
 // PublishAll pushes a fresh resource record for every live node, so the
 // decision process sees current monitor data without waiting a period.
-func (h *Home) PublishAll() {
+// Nodes that fail to publish are reported in the joined error; the rest
+// still publish.
+func (h *Home) PublishAll() error {
+	var errs []error
 	for _, n := range h.Nodes() {
-		_ = n.mon.PublishOnce()
+		if err := n.mon.PublishOnce(); err != nil {
+			errs = append(errs, fmt.Errorf("publish %s: %w", n.addr, err))
+		}
 	}
+	return errors.Join(errs...)
 }
 
 // Gateway returns a node hosting the public cloud interface module. "At
 // least one of these nodes must provide an interface among the home and
 // remote cloud services" (§III).
 func (h *Home) Gateway() (*Node, bool) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	for _, n := range h.nodes {
+	// Iterate the sorted snapshot, not the map: with several gateways
+	// configured, every node (and every run) must elect the same one.
+	for _, n := range h.Nodes() {
 		if n.cfg.CloudGateway {
 			return n, true
 		}

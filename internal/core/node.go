@@ -106,6 +106,9 @@ type Node struct {
 	training [][]byte                 // guarded by mu; local face-recognition training set
 	domains  uint16                   // guarded by mu; next guest domain ID
 
+	pathMu sync.Mutex
+	paths  map[*Node]*netsim.Path // guarded by pathMu; memoised LAN paths per peer
+
 	wg sync.WaitGroup // in-flight non-blocking operations
 
 	ops opCounters // cumulative operation counters
@@ -277,7 +280,11 @@ func (n *Node) SetTrainingSet(imgs [][]byte) {
 func (n *Node) trainingSet() [][]byte {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.training
+	// Copy the outer slice so the returned snapshot stays stable if
+	// SetTrainingSet swaps the field after the lock is released.
+	cp := make([][]byte, len(n.training))
+	copy(cp, n.training)
+	return cp
 }
 
 // spawn runs fn as a tracked background operation, registering it with
@@ -370,16 +377,39 @@ func (n *Node) evacuate() {
 			}
 		}
 		if moved {
-			_ = n.store.Delete(name)
+			// Delete only fails when the object is already gone, which is
+			// the goal state here; anything else keeps the local copy for
+			// the next evacuation pass.
+			if err := n.store.Delete(name); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+				continue
+			}
 		}
 	}
 }
 
 // lanPathTo builds the transfer path from this node to a peer, taking
-// the wireless segment's penalty when either endpoint sits on it.
+// the wireless segment's penalty when either endpoint sits on it. Paths
+// are memoised per peer: the inputs (NICs, fabric, wireless flags) are
+// immutable config, every message and transfer on the data path needs
+// one, and the cache makes the steady state allocation-free.
+//
+// c4h:hotpath
 func (n *Node) lanPathTo(peer *Node) *netsim.Path {
-	return netsim.HomePathMixed(n.nic, peer.nic, n.home.fabric,
+	n.pathMu.Lock()
+	if p, ok := n.paths[peer]; ok {
+		n.pathMu.Unlock()
+		return p
+	}
+	n.pathMu.Unlock()
+	p := netsim.HomePathMixed(n.nic, peer.nic, n.home.fabric,
 		n.cfg.Wireless, peer.cfg.Wireless)
+	n.pathMu.Lock()
+	if n.paths == nil {
+		n.paths = make(map[*Node]*netsim.Path)
+	}
+	n.paths[peer] = p
+	n.pathMu.Unlock()
+	return p
 }
 
 // wanUpPathFor builds the upload path from a node to the cloud.

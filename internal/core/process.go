@@ -265,10 +265,12 @@ func (s *Session) ProcessPipelineAt(name string, svcNames []string, svcIDs []uin
 	next := 0
 	if s.node.cfg.ComputePlane.Overlap {
 		step, raw, ok, err := s.node.moveAndRun(target, specs[0], meta)
+		if err != nil {
+			// ok=false implies err==nil (ineligible path), so a non-nil
+			// error always came from an attempted overlapped run.
+			return ProcessResult{}, err
+		}
 		if ok {
-			if err != nil {
-				return ProcessResult{}, err
-			}
 			combined.Breakdown.InputMove = step.Breakdown.InputMove
 			data = raw
 			fold(step)
@@ -329,10 +331,12 @@ func (n *Node) executeAtCancellable(target string, spec services.Spec, meta Obje
 	// into one overlapped window when the path is eligible.
 	if n.cfg.ComputePlane.Overlap {
 		res, _, ok, err := n.moveAndRun(target, spec, meta)
+		if err != nil {
+			// ok=false implies err==nil (ineligible path), so a non-nil
+			// error always came from an attempted overlapped run.
+			return ProcessResult{}, err
+		}
 		if ok {
-			if err != nil {
-				return ProcessResult{}, err
-			}
 			if cancelled != nil && cancelled.Load() {
 				return abort()
 			}

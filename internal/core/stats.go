@@ -40,6 +40,10 @@ type OpStats struct {
 	// FaultConfig.Repair is off.
 	ObjectsRepaired  int64
 	ReplicasRestored int64
+	// AsyncPlaceDrops counts non-blocking stores whose background
+	// placement failed — the object was accepted into dom0 but never
+	// reached stable storage (the prototype's degrade-to-drop path).
+	AsyncPlaceDrops int64
 }
 
 // opCounters is the node-internal atomic representation. The counters
@@ -63,6 +67,7 @@ type opCounters struct {
 	fetchRetries     atomic.Int64
 	objectsRepaired  atomic.Int64
 	replicasRestored atomic.Int64
+	asyncPlaceDrops  atomic.Int64
 }
 
 func (c *opCounters) snapshot() OpStats {
@@ -84,6 +89,7 @@ func (c *opCounters) snapshot() OpStats {
 		FetchRetries:     c.fetchRetries.Load(),
 		ObjectsRepaired:  c.objectsRepaired.Load(),
 		ReplicasRestored: c.replicasRestored.Load(),
+		AsyncPlaceDrops:  c.asyncPlaceDrops.Load(),
 	}
 }
 

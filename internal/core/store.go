@@ -70,9 +70,12 @@ func (s *Session) StoreObject(name string, data []byte, size int64, opts StoreOp
 	if !opts.Blocking {
 		// Non-blocking: placement continues in the control domain while
 		// the application proceeds. Errors degrade to a drop in the
-		// prototype; tests use Flush + metadata lookups to verify.
+		// prototype — counted, so availability accounting sees the loss;
+		// tests use Flush + metadata lookups to verify.
 		s.node.spawn(func() {
-			_, _, _ = s.node.place(obj, data, opts.Policy)
+			if _, _, err := s.node.place(obj, data, opts.Policy); err != nil {
+				s.node.ops.asyncPlaceDrops.Add(1)
+			}
 		})
 		return StoreResult{
 			InterDomain: interDomain,

@@ -374,7 +374,12 @@ func (s *Server) writeError(conn net.Conn, err error) {
 		msg = msg[:command.MaxData]
 	}
 	pkt := command.Packet{Type: command.TypeError, Data: []byte(msg)}
-	_ = command.Write(conn, &pkt)
+	if werr := command.Write(conn, &pkt); werr != nil {
+		// The reply channel itself is broken; close so the client sees a
+		// hard failure instead of a hung read (the handler's own close is
+		// idempotent).
+		_ = conn.Close()
+	}
 }
 
 // readFrame reads one length-prefixed payload frame.

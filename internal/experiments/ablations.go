@@ -350,7 +350,9 @@ func RunAblationDecision(seed int64) (*AblationDecisionResult, error) {
 					return
 				}
 			}
-			tb.PublishResources()
+			if runErr = tb.PublishResources(); runErr != nil {
+				return
+			}
 			requester, err := tb.Home.AddNode(core.NodeConfig{
 				Addr:           "requester:9000",
 				Machine:        cluster.NetbookSpec("requester"),
@@ -361,7 +363,9 @@ func RunAblationDecision(seed int64) (*AblationDecisionResult, error) {
 				runErr = err
 				return
 			}
-			_ = requester.Monitor().PublishOnce()
+			if runErr = requester.Monitor().PublishOnce(); runErr != nil {
+				return
+			}
 			sess, err := requester.OpenSession()
 			if err != nil {
 				runErr = err
@@ -408,7 +412,14 @@ func RunAblationDecision(seed int64) (*AblationDecisionResult, error) {
 					// Stagger starts past the input-move latency so each
 					// request sees the loads the previous ones created.
 					tb.V.Sleep(time.Duration(i) * 5 * time.Second)
-					tb.PublishResources()
+					if perr := tb.PublishResources(); perr != nil {
+						mu.Lock()
+						if runErr == nil {
+							runErr = perr
+						}
+						mu.Unlock()
+						return
+					}
 					pr, err := worker.Process(names[i], "fdet", services.FaceDetectID)
 					mu.Lock()
 					defer mu.Unlock()

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cloud4home/internal/cluster"
@@ -135,8 +136,12 @@ func runComputeScaleUpCell(cfg ComputeScaleUpConfig, name string, cp core.Comput
 				return
 			}
 		}
-		tb.PublishResources()
-		_ = desk2.Monitor().PublishOnce()
+		if runErr = tb.PublishResources(); runErr != nil {
+			return
+		}
+		if runErr = desk2.Monitor().PublishOnce(); runErr != nil {
+			return
+		}
 
 		requester := tb.Netbooks[1]
 		sess, err := requester.OpenSession()
@@ -216,9 +221,19 @@ func runComputeScaleUpCell(cfg ComputeScaleUpConfig, name string, cp core.Comput
 		if runErr != nil {
 			return
 		}
+		var hogMu sync.Mutex
+		var hogErr error
 		for i := 0; i < 4; i++ {
 			tb.V.Go(func() {
-				_, _ = tb.Desktop.Machine().Exec(machine.Task{CPUGHzSec: 2000, Parallelism: 1})
+				// A hog that fails admission leaves the machine undegraded
+				// and would silently invalidate the degraded phase.
+				if _, err := tb.Desktop.Machine().Exec(machine.Task{CPUGHzSec: 2000, Parallelism: 1}); err != nil {
+					hogMu.Lock()
+					if hogErr == nil {
+						hogErr = err
+					}
+					hogMu.Unlock()
+				}
 			})
 		}
 		tb.V.Sleep(time.Millisecond) // hogs admit themselves
@@ -230,6 +245,12 @@ func runComputeScaleUpCell(cfg ComputeScaleUpConfig, name string, cp core.Comput
 		row.SpecLaunches = st.SpecLaunches
 		row.SpecWins = st.SpecWins
 		row.SpecCancels = st.SpecCancels
+
+		hogMu.Lock()
+		if runErr == nil && hogErr != nil {
+			runErr = fmt.Errorf("background hog: %w", hogErr)
+		}
+		hogMu.Unlock()
 	})
 	if runErr != nil {
 		return ComputeScaleUpRow{}, runErr

@@ -94,7 +94,9 @@ func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 			}
 		}
 		for _, n := range home.Nodes() {
-			_ = n.Monitor().PublishOnce()
+			if runErr = n.Monitor().PublishOnce(); runErr != nil {
+				return
+			}
 		}
 
 		sess, err := s1.OpenSession()

@@ -89,7 +89,9 @@ func RunFig8(cfg Fig8Config) (*Fig8Result, error) {
 			return
 		}
 		for _, n := range home.Nodes() {
-			_ = n.Monitor().PublishOnce()
+			if runErr = n.Monitor().PublishOnce(); runErr != nil {
+				return
+			}
 		}
 
 		ownerSess, err := owner.OpenSession()

@@ -101,7 +101,9 @@ func runSplitScenario(cfg SplitConfig, homeShare float64) (*splitRun, error) {
 		if runErr = tb.Home.DeployCloudService(services.FaceRecognize(), "xl"); runErr != nil {
 			return
 		}
-		tb.PublishResources()
+		if runErr = tb.PublishResources(); runErr != nil {
+			return
+		}
 
 		sess, err := tb.Netbooks[0].OpenSession()
 		if err != nil {

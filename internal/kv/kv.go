@@ -389,6 +389,8 @@ func (s *Store) GetAll(from, key ids.ID) ([]Value, int, error) {
 // Value aliases store internals: the caller must treat Data as read-only
 // and must not retain it past its own call frame. Everyone else should
 // use Get, which clones.
+//
+// c4h:hotpath
 func (s *Store) GetRef(from, key ids.ID) (GetResult, error) {
 	chain, hops, cached, err := s.getChain(from, key)
 	if err != nil {
@@ -537,6 +539,7 @@ func (s *Store) populatePathCaches(key ids.ID, chain []Value, path []ids.ID, ser
 // that hand data out clone at the boundary (Get, GetAll,
 // populatePathCaches), which turns the two clones the read path used to
 // pay into at most one.
+// c4h:hotpath
 func (ns *nodeStore) lookup(key ids.ID) (chain []Value, fromCache, ok bool) {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()

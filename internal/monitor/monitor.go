@@ -132,6 +132,7 @@ type Monitor struct {
 	started bool
 	stop    chan struct{}
 	done    chan struct{}
+	lastErr error // guarded by mu; most recent periodic-publish failure
 }
 
 // New returns a monitor for the node identified by addr (already joined
@@ -192,8 +193,13 @@ func (m *Monitor) Start() {
 			default:
 			}
 			// Publication failures (e.g. during churn) degrade gracefully:
-			// the next period retries with fresh membership.
-			_ = m.PublishOnce()
+			// the next period retries with fresh membership. The latest
+			// failure stays observable via LastPublishErr.
+			if err := m.PublishOnce(); err != nil {
+				m.mu.Lock()
+				m.lastErr = err
+				m.mu.Unlock()
+			}
 		}
 	}
 	if v, ok := m.clock.(*vclock.Virtual); ok {
@@ -221,6 +227,15 @@ func (m *Monitor) Stop() {
 	} else {
 		<-done
 	}
+}
+
+// LastPublishErr returns the most recent periodic-publish failure, or
+// nil if every period so far succeeded. Churn tests use it to confirm
+// the publisher degraded (and recovered) rather than silently stalling.
+func (m *Monitor) LastPublishErr() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastErr
 }
 
 // Lookup fetches the freshest resource record for the node at addr, as

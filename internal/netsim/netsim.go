@@ -201,6 +201,7 @@ func jitter(rng *rand.Rand, j float64) float64 {
 // Message charges one-way delivery latency for a small control message
 // (command packets are "usually less than 50 bytes", §IV) and returns the
 // elapsed duration.
+// c4h:hotpath
 func (n *Network) Message(p *Path) time.Duration {
 	rng := n.rng()
 	d := time.Duration(float64(p.RTT/2) * jitter(rng, p.Jitter))
@@ -229,6 +230,8 @@ func chunkFor(size int64) int64 {
 // Transfer moves size bytes over the path, charging virtual/real time for
 // setup, latency, TCP ramp, processor-shared bandwidth, and shaping. It
 // returns the total elapsed duration.
+//
+// c4h:hotpath
 func (n *Network) Transfer(p *Path, size int64) time.Duration {
 	if size <= 0 {
 		return n.Message(p)

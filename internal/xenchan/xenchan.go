@@ -134,6 +134,8 @@ func (c *Channel) Config() Config { return c.cfg }
 // The returned slice points into the per-channel staging buffer and is
 // only valid until the next Transfer on the same channel; callers that
 // keep the payload must copy it out.
+//
+// c4h:hotpath
 func (c *Channel) Transfer(data []byte) ([]byte, time.Duration, error) {
 	if c.closed {
 		return nil, 0, ErrClosed
@@ -161,6 +163,8 @@ func (c *Channel) Transfer(data []byte) ([]byte, time.Duration, error) {
 
 // recvBuf returns the staging buffer sized for an n-byte transfer,
 // growing it geometrically so steady-state transfers allocate nothing.
+//
+// c4h:hotpath
 func (c *Channel) recvBuf(n int) []byte {
 	if cap(c.staging) < n {
 		newCap := 2 * cap(c.staging)
@@ -175,6 +179,8 @@ func (c *Channel) recvBuf(n int) []byte {
 // TransferSize charges the cost of moving size bytes without materialising
 // them. The experiment harness uses it for the multi-megabyte synthetic
 // objects whose content is irrelevant.
+//
+// c4h:hotpath
 func (c *Channel) TransferSize(size int64) (time.Duration, error) {
 	if c.closed {
 		return 0, ErrClosed
