@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-typed lint-dataflow test race check bench repro examples clean
+.PHONY: all build vet lint lint-typed lint-dataflow test race check bench profile repro examples clean
 
 all: build vet lint lint-typed lint-dataflow test race
 
@@ -42,6 +42,16 @@ check: build vet lint lint-typed lint-dataflow test race
 # The stream also lands, machine-readable, in BENCH_baseline.json.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./... | $(GO) run ./cmd/c4h-benchjson -o BENCH_baseline.json
+
+# Profile the hot-path experiment: CPU + allocation profiles and a
+# runtime execution trace. See DESIGN.md ("Hot-path performance") for
+# how to read them.
+profile:
+	$(GO) run ./cmd/c4h-bench -exp hotpath -workers 4 -cpuprofile cpu.prof -memprofile mem.prof -trace trace.out
+	@echo "inspect with:"
+	@echo "  go tool pprof -top cpu.prof"
+	@echo "  go tool pprof -top -sample_index=alloc_space mem.prof"
+	@echo "  go tool trace trace.out"
 
 # Regenerate every table and figure of the paper's evaluation.
 repro:

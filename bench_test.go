@@ -8,12 +8,18 @@ package cloud4home_test
 // ./cmd/c4h-bench`.
 
 import (
+	"flag"
 	"testing"
 
 	"cloud4home/internal/experiments"
 )
 
 const benchSeed = 2011
+
+// -workers bounds host-side concurrency for the scale-up style sweeps
+// whose cells are independent virtual-clock universes. Results are
+// identical at any worker count; only host wall-clock changes.
+var benchWorkers = flag.Int("workers", 1, "host worker goroutines for scale-up sweeps")
 
 // BenchmarkFig4HomeVsRemoteLatency regenerates Figure 4: fetch/store
 // latency and variability, home vs remote cloud, across object sizes.
@@ -275,7 +281,9 @@ func BenchmarkScale(b *testing.B) {
 func BenchmarkScaleUp(b *testing.B) {
 	var last *experiments.ScaleUpResult
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunScaleUp(experiments.DefaultScaleUp(benchSeed))
+		cfg := experiments.DefaultScaleUp(benchSeed)
+		cfg.Workers = *benchWorkers
+		res, err := experiments.RunScaleUp(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -290,6 +298,34 @@ func BenchmarkScaleUp(b *testing.B) {
 	if seq.AggregateMBps > 0 {
 		b.ReportMetric(str.AggregateMBps/seq.AggregateMBps, "striped/sequential")
 	}
+}
+
+// BenchmarkHotPath measures the gated hot-path work: the scale-up sweep
+// with every result-preserving gate on versus off (virtual-time results
+// must stay bit-identical — `identical` reports 1), plus the coalescing
+// gate's effect on concurrent hot-object fetches. Run with -workers=4 to
+// also exercise the host-side cell pool.
+func BenchmarkHotPath(b *testing.B) {
+	var last *experiments.HotPathResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultHotPath(benchSeed)
+		cfg.Workers = *benchWorkers
+		res, err := experiments.RunHotPath(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatalf("gated sweep diverged: %s", res.Mismatch)
+		}
+		last = res
+	}
+	b.ReportMetric(last.BaselineHost.Seconds(), "baselineHost-s")
+	b.ReportMetric(last.GatedHost.Seconds(), "gatedHost-s")
+	b.ReportMetric(last.Speedup(), "hostSpeedup")
+	b.ReportMetric(1, "identical")
+	b.ReportMetric(last.Coalesce.SoloFetch.Mean.Seconds(), "soloFetch-s")
+	b.ReportMetric(last.Coalesce.SharedFetch.Mean.Seconds(), "coalescedFetch-s")
+	b.ReportMetric(float64(last.Coalesce.Coalesced), "coalescedFollowers")
 }
 
 // BenchmarkComputeScaleUp measures the concurrent compute plane: 12 MB

@@ -5,13 +5,22 @@
 //
 // Usage:
 //
-//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale|availability] [-seed 2011]
+//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale|availability|hotpath] [-seed 2011]
+//	          [-workers N] [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// The profiling flags write standard Go profiles of the run for
+// `go tool pprof` / `go tool trace`; see DESIGN.md ("Hot-path
+// performance") for how to read them.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"cloud4home/internal/experiments"
@@ -19,16 +28,57 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale, availability)")
-		seed = flag.Int64("seed", 2011, "simulation seed")
+		exp        = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale, availability, hotpath)")
+		seed       = flag.Int64("seed", 2011, "simulation seed")
+		workers    = flag.Int("workers", 1, "host worker goroutines for scale-up sweeps (results identical at any count)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
-	if err := run(*exp, *seed); err != nil {
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		defer trace.Stop()
+	}
+
+	err := run(*exp, *seed, *workers)
+
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			log.Fatalf("memprofile: %v", merr)
+		}
+		runtime.GC() // flush dead objects so the profile shows live + cumulative allocs
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			log.Fatalf("memprofile: %v", merr)
+		}
+		f.Close()
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(exp string, seed int64) error {
+func run(exp string, seed int64, workers int) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
 
@@ -100,7 +150,9 @@ func run(exp string, seed int64) error {
 		ran = true
 	}
 	if want("scaleup") {
-		res, err := experiments.RunScaleUp(experiments.DefaultScaleUp(seed))
+		cfg := experiments.DefaultScaleUp(seed)
+		cfg.Workers = workers
+		res, err := experiments.RunScaleUp(cfg)
 		if err != nil {
 			return err
 		}
@@ -117,6 +169,16 @@ func run(exp string, seed int64) error {
 	}
 	if want("availability") {
 		res, err := experiments.RunAvailability(experiments.DefaultAvailability(seed))
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		ran = true
+	}
+	if want("hotpath") {
+		cfg := experiments.DefaultHotPath(seed)
+		cfg.Workers = workers
+		res, err := experiments.RunHotPath(cfg)
 		if err != nil {
 			return err
 		}

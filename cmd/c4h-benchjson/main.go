@@ -9,9 +9,12 @@
 //	go test -bench=. -benchmem -benchtime=1x ./... | c4h-benchjson -o BENCH_baseline.json
 //
 // The diff subcommand compares two converted files and exits non-zero
-// when any directional metric regressed past the threshold:
+// when any directional metric regressed past the threshold. Allocation
+// metrics (B/op, allocs/op) are deterministic on the virtual-time
+// testbed and gate by default under their own -alloc-threshold; only the
+// host wall-clock metrics (ns/op, MB/s) need -all to opt in:
 //
-//	c4h-benchjson diff [-threshold 0.10] [-all] BENCH_baseline.json bench-new.json
+//	c4h-benchjson diff [-threshold 0.10] [-alloc-threshold 0.10] [-all] BENCH_baseline.json bench-new.json
 package main
 
 import (
@@ -126,12 +129,19 @@ func metricDirection(unit string) int {
 	return 0
 }
 
-// realTimeMetric reports units that measure host wall time or allocator
-// behaviour — too noisy to gate on by default. The bare "MB/s" unit is
-// testing's b.SetBytes host throughput; the simulated throughput
-// metrics use custom "...-MBps"/"...-MB/s" units and stay gated.
+// realTimeMetric reports units that measure host wall time — too noisy
+// to gate on by default. The bare "MB/s" unit is testing's b.SetBytes
+// host throughput; the simulated throughput metrics use custom
+// "...-MBps"/"...-MB/s" units and stay gated.
 func realTimeMetric(unit string) bool {
-	return unit == "ns/op" || unit == "B/op" || unit == "allocs/op" || unit == "MB/s"
+	return unit == "ns/op" || unit == "MB/s"
+}
+
+// allocMetric reports the -benchmem allocator metrics. Unlike wall
+// clock, allocation counts on the deterministic testbed are stable, so
+// these gate by default (lower is better) under their own threshold.
+func allocMetric(unit string) bool {
+	return unit == "B/op" || unit == "allocs/op"
 }
 
 // Regression is one metric that moved in the worse direction past the
@@ -146,9 +156,10 @@ type Regression struct {
 
 // diffResults compares the intersection of (benchmark, metric) pairs.
 // Benchmarks missing from the new run are skipped, so a subset run can
-// be diffed against the full baseline. Returns the regressions and the
-// number of gated comparisons made.
-func diffResults(oldRes, newRes *Result, threshold float64, all bool) (regs []Regression, compared int) {
+// be diffed against the full baseline. Allocation metrics gate against
+// allocThreshold, everything else against threshold. Returns the
+// regressions and the number of gated comparisons made.
+func diffResults(oldRes, newRes *Result, threshold, allocThreshold float64, all bool) (regs []Regression, compared int) {
 	key := func(b Benchmark) string { return b.Pkg + "\x00" + b.Name }
 	newBy := map[string]Benchmark{}
 	for _, b := range newRes.Benchmarks {
@@ -175,8 +186,12 @@ func diffResults(oldRes, newRes *Result, threshold float64, all bool) (regs []Re
 				continue
 			}
 			compared++
+			th := threshold
+			if allocMetric(unit) {
+				th = allocThreshold
+			}
 			delta := (nv - ov) / ov
-			if float64(dir)*delta < -threshold {
+			if float64(dir)*delta < -th {
 				regs = append(regs, Regression{
 					Bench: ob.Name, Metric: unit, Old: ov, New: nv, Delta: delta,
 				})
@@ -201,10 +216,11 @@ func readResult(path string) (*Result, error) {
 func diffMain(argv []string) int {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.10, "relative regression threshold")
-	all := fs.Bool("all", false, "also gate on the noisy host-time metrics (ns/op, B/op, allocs/op)")
+	allocThreshold := fs.Float64("alloc-threshold", 0.10, "relative regression threshold for B/op and allocs/op")
+	all := fs.Bool("all", false, "also gate on the noisy host-time metrics (ns/op, MB/s)")
 	_ = fs.Parse(argv)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: c4h-benchjson diff [-threshold 0.10] [-all] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: c4h-benchjson diff [-threshold 0.10] [-alloc-threshold 0.10] [-all] old.json new.json")
 		return 2
 	}
 	oldRes, err := readResult(fs.Arg(0))
@@ -217,7 +233,7 @@ func diffMain(argv []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
-	regs, compared := diffResults(oldRes, newRes, *threshold, *all)
+	regs, compared := diffResults(oldRes, newRes, *threshold, *allocThreshold, *all)
 	for _, r := range regs {
 		fmt.Printf("REGRESSION %s %s: %g -> %g (%+.1f%%)\n",
 			r.Bench, r.Metric, r.Old, r.New, 100*r.Delta)

@@ -55,7 +55,7 @@ func bench(name string, metrics map[string]float64) Benchmark {
 func TestDiffFlagsTimeRegression(t *testing.T) {
 	oldRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkA", map[string]float64{"total-ms": 100})}}
 	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkA", map[string]float64{"total-ms": 115})}}
-	regs, compared := diffResults(oldRes, newRes, 0.10, false)
+	regs, compared := diffResults(oldRes, newRes, 0.10, 0.10, false)
 	if compared != 1 || len(regs) != 1 {
 		t.Fatalf("compared=%d regs=%v", compared, regs)
 	}
@@ -64,7 +64,7 @@ func TestDiffFlagsTimeRegression(t *testing.T) {
 	}
 	// Getting faster is not a regression.
 	newRes.Benchmarks[0].Metrics["total-ms"] = 80
-	if regs, _ := diffResults(oldRes, newRes, 0.10, false); len(regs) != 0 {
+	if regs, _ := diffResults(oldRes, newRes, 0.10, 0.10, false); len(regs) != 0 {
 		t.Errorf("improvement flagged: %v", regs)
 	}
 }
@@ -72,7 +72,7 @@ func TestDiffFlagsTimeRegression(t *testing.T) {
 func TestDiffFlagsThroughputDrop(t *testing.T) {
 	oldRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkB", map[string]float64{"agg-MBps": 20, "speedup": 2.0})}}
 	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkB", map[string]float64{"agg-MBps": 16, "speedup": 2.5})}}
-	regs, compared := diffResults(oldRes, newRes, 0.10, false)
+	regs, compared := diffResults(oldRes, newRes, 0.10, 0.10, false)
 	if compared != 2 {
 		t.Fatalf("compared = %d, want 2", compared)
 	}
@@ -86,13 +86,40 @@ func TestDiffSkipsNeutralAndHostTimeMetrics(t *testing.T) {
 		map[string]float64{"ns/op": 1000, "MB/s": 2000, "peakSize-MB": 20, "remote/home": 3})}}
 	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkC",
 		map[string]float64{"ns/op": 9000, "MB/s": 1200, "peakSize-MB": 40, "remote/home": 9})}}
-	if regs, compared := diffResults(oldRes, newRes, 0.10, false); compared != 0 || len(regs) != 0 {
+	if regs, compared := diffResults(oldRes, newRes, 0.10, 0.10, false); compared != 0 || len(regs) != 0 {
 		t.Fatalf("gated on neutral/host metrics: compared=%d regs=%v", compared, regs)
 	}
 	// -all opts the host-time metrics in.
-	regs, compared := diffResults(oldRes, newRes, 0.10, true)
+	regs, compared := diffResults(oldRes, newRes, 0.10, 0.10, true)
 	if compared != 2 || len(regs) != 2 {
 		t.Fatalf("-all: compared=%d regs=%v", compared, regs)
+	}
+}
+
+func TestDiffGatesAllocMetricsByDefault(t *testing.T) {
+	oldRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkD",
+		map[string]float64{"B/op": 1000, "allocs/op": 100, "ns/op": 5000})}}
+	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkD",
+		map[string]float64{"B/op": 1200, "allocs/op": 101, "ns/op": 50000})}}
+	// Without -all: both alloc metrics compared (ns/op skipped), only the
+	// B/op +20% move breaks the 10% alloc threshold.
+	regs, compared := diffResults(oldRes, newRes, 0.10, 0.10, false)
+	if compared != 2 {
+		t.Fatalf("compared = %d, want 2 (alloc metrics only)", compared)
+	}
+	if len(regs) != 1 || regs[0].Metric != "B/op" {
+		t.Fatalf("regs = %v, want a single B/op regression", regs)
+	}
+	// The alloc threshold is separate: loosening it to 25% clears the gate
+	// even with a tight general threshold.
+	if regs, _ := diffResults(oldRes, newRes, 0.01, 0.25, false); len(regs) != 0 {
+		t.Errorf("loose alloc threshold still flagged: %v", regs)
+	}
+	// Fewer allocations is an improvement, never a regression.
+	newRes.Benchmarks[0].Metrics["B/op"] = 500
+	newRes.Benchmarks[0].Metrics["allocs/op"] = 50
+	if regs, _ := diffResults(oldRes, newRes, 0.10, 0.10, false); len(regs) != 0 {
+		t.Errorf("alloc improvement flagged: %v", regs)
 	}
 }
 
@@ -102,7 +129,7 @@ func TestDiffSkipsBenchmarksMissingFromNewRun(t *testing.T) {
 		bench("BenchmarkKept", map[string]float64{"total-ms": 50}),
 	}}
 	newRes := &Result{Benchmarks: []Benchmark{bench("BenchmarkKept", map[string]float64{"total-ms": 50})}}
-	regs, compared := diffResults(oldRes, newRes, 0.10, false)
+	regs, compared := diffResults(oldRes, newRes, 0.10, 0.10, false)
 	if compared != 1 || len(regs) != 0 {
 		t.Fatalf("subset diff: compared=%d regs=%v", compared, regs)
 	}

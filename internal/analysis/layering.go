@@ -35,10 +35,11 @@ var layerDAG = map[string][]string{
 	"internal/command":  {},
 	"internal/trace":    {},
 	"internal/parallel": {},
+	"internal/detrand":  {},
 
 	// Self-contained subsystems over the leaves.
 	"internal/rbtree":   {"internal/ids"},
-	"internal/netsim":   {"internal/vclock"},
+	"internal/netsim":   {"internal/detrand", "internal/vclock"},
 	"internal/machine":  {"internal/vclock"},
 	"internal/xenchan":  {"internal/vclock"},
 	"internal/objstore": {"internal/ids"},

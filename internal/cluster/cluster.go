@@ -82,6 +82,10 @@ type Options struct {
 	// Faults configures the fault-tolerance layer on every node; the zero
 	// value keeps the paper's fail-on-loss behaviour.
 	Faults core.FaultConfig
+	// Perf gates the hot-path performance work (allocation-free data
+	// plane, sharded event loop); the zero value keeps the previous
+	// behaviour bit-for-bit.
+	Perf core.PerfConfig
 }
 
 // New builds the paper testbed. All construction runs inside the virtual
@@ -94,10 +98,14 @@ func New(opts Options) (*Testbed, error) {
 	if opts.KV != nil {
 		kvOpts = *opts.KV
 	}
-	tb := &Testbed{V: vclock.NewVirtual(Epoch), opts: opts}
+	clock := vclock.NewVirtual(Epoch)
+	if opts.Perf.SimShards > 0 {
+		clock = vclock.NewVirtualSharded(Epoch, opts.Perf.SimShards)
+	}
+	tb := &Testbed{V: clock, opts: opts}
 	var err error
 	tb.V.Run(func() {
-		tb.Home = core.NewHome(tb.V, core.HomeOptions{Seed: opts.Seed, KV: kvOpts})
+		tb.Home = core.NewHome(tb.V, core.HomeOptions{Seed: opts.Seed, KV: kvOpts, Perf: opts.Perf})
 		tb.Cloud = cloudsim.New(tb.V, tb.Home.Net())
 		tb.Home.AttachCloud(tb.Cloud)
 		for i := 0; i < opts.Netbooks; i++ {

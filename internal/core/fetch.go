@@ -6,6 +6,7 @@ import (
 
 	"cloud4home/internal/command"
 	"cloud4home/internal/netsim"
+	"cloud4home/internal/vclock"
 )
 
 // FetchBreakdown is the per-phase cost profile of a fetch — the columns
@@ -100,7 +101,7 @@ func (n *Node) fetchToDom0(name, principal string, sink *domainSink) (ObjectMeta
 	bd.DHTLookup = lookup
 	if err != nil {
 		// Not in this home: try federated neighbour homes (§VII v).
-		peerHome, peerMeta, ok := n.home.federatedLookup(name)
+		peerHome, peerMeta, ok := n.home.federatedLookup(name, n)
 		if !ok {
 			return ObjectMeta{}, nil, "", bd, err
 		}
@@ -149,64 +150,125 @@ func (n *Node) fetchToDom0(name, principal string, sink *domainSink) (ObjectMeta
 		if data, hit := n.cacheGet(meta); hit {
 			return meta, data, "cache:" + n.addr, bd, nil
 		}
-		if n.cfg.DataPlane.StripedFetch {
-			if data, src, interNode, ok := n.fetchStriped(meta, sink); ok {
-				bd.InterNode = interNode
-				n.cacheFill(meta, data)
-				return meta, data, src, bd, nil
-			}
+		if v, ok := n.clock.(*vclock.Virtual); ok && n.home.perf.CoalesceFetch {
+			return n.fetchCoalesced(v, meta, sink, bd)
 		}
-		peer, ok := n.home.Node(meta.Location)
-		if !ok {
-			if n.cfg.Faults.Fallback {
-				return n.finishFallback(meta, sink, bd)
-			}
-			return meta, nil, "", bd, fmt.Errorf("%w: %q (holder %q gone)", ErrObjectNotFound, name, meta.Location)
-		}
-		// Request message to the owner, then the inter-node transfer
-		// (kernel-to-kernel zero copy in the prototype; here the netsim
-		// path charges the same wire time).
-		n.home.net.Message(n.lanPathTo(peer))
-		_, data, err := peer.store.Get(name)
-		if err != nil {
-			if n.cfg.Faults.Fallback {
-				return n.finishFallback(meta, sink, bd)
-			}
-			return meta, nil, "", bd, fmt.Errorf("core: fetch %q from %s: %w", name, peer.addr, err)
-		}
-		if sink != nil && meta.Size > 0 {
-			req := netsim.TransferReq{
-				Path:    peer.lanPathTo(n),
-				Size:    meta.Size,
-				Chunk:   sink.chunk,
-				OnChunk: sink.onChunk,
-			}
-			if n.cfg.Faults.Fallback {
-				// Let a holder crash abort the transfer instead of running the
-				// modeled wire to completion against a dead endpoint.
-				req.Cancel = func() bool {
-					_, alive := n.home.Node(peer.addr)
-					return !alive
-				}
-			}
-			st, wall, terr := n.home.net.TransferSet([]netsim.TransferReq{req})
-			aborted := terr == nil && len(st) > 0 && st[0].Aborted
-			if terr != nil || len(st) == 0 || aborted {
-				if n.cfg.Faults.Fallback {
-					// The aborted attempt's partial wire time is retry cost,
-					// not useful inter-node time.
-					bd.Retries += wall
-					return n.finishFallback(meta, sink, bd)
-				}
-				return meta, nil, "", bd, fmt.Errorf("core: fetch %q from %s: %v", name, peer.addr, terr)
-			}
-			bd.InterNode = wall
-		} else {
-			bd.InterNode = n.home.net.Transfer(peer.lanPathTo(n), meta.Size)
-		}
-		n.cacheFill(meta, data)
-		return meta, data, peer.addr, bd, nil
+		return n.fetchRemote(meta, sink, bd)
 	}
+}
+
+// fetchRemote is fetchToDom0's wire branch: the object lives on another
+// home node, so request it and move the bytes over the LAN.
+func (n *Node) fetchRemote(meta ObjectMeta, sink *domainSink, bd FetchBreakdown) (ObjectMeta, []byte, string, FetchBreakdown, error) {
+	name := meta.Name
+	if n.cfg.DataPlane.StripedFetch {
+		if data, src, interNode, ok := n.fetchStriped(meta, sink); ok {
+			bd.InterNode = interNode
+			n.cacheFill(meta, data)
+			return meta, data, src, bd, nil
+		}
+	}
+	peer, ok := n.home.Node(meta.Location)
+	if !ok {
+		if n.cfg.Faults.Fallback {
+			return n.finishFallback(meta, sink, bd)
+		}
+		return meta, nil, "", bd, fmt.Errorf("%w: %q (holder %q gone)", ErrObjectNotFound, name, meta.Location)
+	}
+	// Request message to the owner, then the inter-node transfer
+	// (kernel-to-kernel zero copy in the prototype; here the netsim
+	// path charges the same wire time).
+	n.home.net.Message(n.lanPathTo(peer))
+	_, data, err := peer.store.Get(name)
+	if err != nil {
+		if n.cfg.Faults.Fallback {
+			return n.finishFallback(meta, sink, bd)
+		}
+		return meta, nil, "", bd, fmt.Errorf("core: fetch %q from %s: %w", name, peer.addr, err)
+	}
+	if sink != nil && meta.Size > 0 {
+		req := netsim.TransferReq{
+			Path:    peer.lanPathTo(n),
+			Size:    meta.Size,
+			Chunk:   sink.chunk,
+			OnChunk: sink.onChunk,
+		}
+		if n.cfg.Faults.Fallback {
+			// Let a holder crash abort the transfer instead of running the
+			// modeled wire to completion against a dead endpoint.
+			req.Cancel = func() bool {
+				_, alive := n.home.Node(peer.addr)
+				return !alive
+			}
+		}
+		st, wall, terr := n.home.net.TransferSet([]netsim.TransferReq{req})
+		aborted := terr == nil && len(st) > 0 && st[0].Aborted
+		if terr != nil || len(st) == 0 || aborted {
+			if n.cfg.Faults.Fallback {
+				// The aborted attempt's partial wire time is retry cost,
+				// not useful inter-node time.
+				bd.Retries += wall
+				return n.finishFallback(meta, sink, bd)
+			}
+			return meta, nil, "", bd, fmt.Errorf("core: fetch %q from %s: %v", name, peer.addr, terr)
+		}
+		bd.InterNode = wall
+	} else {
+		bd.InterNode = n.home.net.Transfer(peer.lanPathTo(n), meta.Size)
+	}
+	n.cacheFill(meta, data)
+	return meta, data, peer.addr, bd, nil
+}
+
+// fetchFlight is one in-flight remote fetch other requests may join.
+type fetchFlight struct {
+	ev   *vclock.Event
+	meta ObjectMeta
+	data []byte
+	src  string
+	err  error
+}
+
+// fetchCoalesced merges concurrent remote fetches of one object
+// (PerfConfig.CoalesceFetch): the first requester becomes the leader and
+// runs the real wire transfer; followers park on the flight's event until
+// the leader's bytes arrive — so each follower's inter-node time is
+// exactly the remaining duration of the shared transfer — then copy the
+// payload locally. Followers leave their pipeline sink untouched (their
+// session falls back to the serial dom0→guest drain); the flight's fields
+// are written by the leader before Fire and read-only afterwards.
+func (n *Node) fetchCoalesced(v *vclock.Virtual, meta ObjectMeta, sink *domainSink, bd FetchBreakdown) (ObjectMeta, []byte, string, FetchBreakdown, error) {
+	name := meta.Name
+	n.flightMu.Lock()
+	if f, ok := n.flights[name]; ok {
+		n.flightMu.Unlock()
+		start := n.clock.Now()
+		f.ev.Wait()
+		n.ops.coalescedFetches.Add(1)
+		if f.err != nil {
+			return meta, nil, "", bd, f.err
+		}
+		bd.InterNode = n.clock.Now().Sub(start)
+		data := make([]byte, len(f.data))
+		copy(data, f.data)
+		return f.meta, data, f.src, bd, nil
+	}
+	f := &fetchFlight{ev: v.NewEvent()}
+	if n.flights == nil {
+		n.flights = make(map[string]*fetchFlight)
+	}
+	n.flights[name] = f
+	n.flightMu.Unlock()
+
+	m, data, src, bd, err := n.fetchRemote(meta, sink, bd)
+	f.meta, f.data, f.src, f.err = m, data, src, err
+	// Unregister before firing: requests arriving after completion start a
+	// fresh flight instead of reading a finished one.
+	n.flightMu.Lock()
+	delete(n.flights, name)
+	n.flightMu.Unlock()
+	f.ev.Fire()
+	return m, data, src, bd, err
 }
 
 // finishFallback runs the retry ladder for fetchToDom0's remote case and

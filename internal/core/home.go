@@ -73,6 +73,13 @@ type Home struct {
 	mu    sync.RWMutex
 	nodes map[string]*Node
 	peers []*Home // federated neighbour homes (§VII v)
+
+	fedMu   sync.Mutex
+	fedHits map[string]*Home       // last neighbour that served each name
+	fedMiss map[string]fedMissMark // names no neighbour had, with put marks
+
+	perf PerfConfig // hot-path gates; zero value = paper behaviour
+	memo decodeMemo // BatchedMeta: per-record decode cache
 }
 
 // HomeOptions configures a Home.
@@ -81,24 +88,36 @@ type HomeOptions struct {
 	Seed int64
 	// KV configures the metadata store (replication, caching).
 	KV kv.Options
+	// Perf gates the hot-path performance work; the zero value keeps the
+	// previous behaviour bit-for-bit.
+	Perf PerfConfig
 }
 
 // NewHome builds an empty home cloud on the given clock.
 func NewHome(clock vclock.Clock, opts HomeOptions) *Home {
 	net := netsim.New(clock, opts.Seed)
+	if opts.Perf.LazyRNG {
+		net.EnableLazyRNG()
+	}
 	fabric := netsim.NewResource("home-lan", netsim.LANFabricBps)
 	wire := newLANWire(net, fabric)
 	mesh := overlay.NewMesh(wire)
+	kvOpts := opts.KV
+	kvOpts.RouteMemo = opts.Perf.BatchedMeta
 	return &Home{
 		clock:  clock,
 		net:    net,
 		mesh:   mesh,
 		wire:   wire,
-		kv:     kv.New(mesh, wire, opts.KV),
+		kv:     kv.New(mesh, wire, kvOpts),
 		fabric: fabric,
 		nodes:  make(map[string]*Node),
+		perf:   opts.Perf,
 	}
 }
+
+// Perf returns the home's hot-path gates.
+func (h *Home) Perf() PerfConfig { return h.perf }
 
 // Clock returns the home's clock.
 func (h *Home) Clock() vclock.Clock { return h.clock }
@@ -224,26 +243,95 @@ func (h *Home) invalidateDataCaches(name string) {
 	}
 }
 
+// fedMissMark records a lookup that failed at every neighbour, along with
+// each neighbour's kv put count at the time. Objects only appear in a
+// neighbour home through kv puts, so while every count holds still the
+// negative answer is provably still valid and the probes can be skipped.
+type fedMissMark struct {
+	puts []int
+}
+
 // federatedLookup searches neighbour homes for an object's metadata.
-func (h *Home) federatedLookup(name string) (*Home, ObjectMeta, bool) {
+// Instead of walking every neighbour on every miss, it short-circuits to
+// the neighbour that served the name last time, and remembers names no
+// neighbour had (invalidated by neighbour put activity, see fedMissMark).
+// Each neighbour actually queried counts as one federated probe in the
+// requester's OpStats.
+func (h *Home) federatedLookup(name string, requester *Node) (*Home, ObjectMeta, bool) {
 	h.mu.RLock()
 	peers := make([]*Home, len(h.peers))
 	copy(peers, h.peers)
 	h.mu.RUnlock()
-	for _, peer := range peers {
+	if len(peers) == 0 {
+		return nil, ObjectMeta{}, false
+	}
+
+	h.fedMu.Lock()
+	hit := h.fedHits[name]
+	miss, hasMiss := h.fedMiss[name]
+	h.fedMu.Unlock()
+
+	probe := func(peer *Home) (ObjectMeta, bool) {
 		nodes := peer.Nodes()
 		if len(nodes) == 0 {
-			continue
+			return ObjectMeta{}, false
+		}
+		if requester != nil {
+			requester.ops.federatedProbes.Add(1)
 		}
 		gr, err := peer.kv.GetRef(nodes[0].id, ids.HashString(name))
 		if err != nil {
-			continue
+			return ObjectMeta{}, false
 		}
 		meta, err := UnmarshalObjectMeta(gr.Value.Data)
 		if err != nil {
-			continue
+			return ObjectMeta{}, false
 		}
-		return peer, meta, true
+		return meta, true
 	}
+
+	if hit != nil {
+		if meta, ok := probe(hit); ok {
+			return hit, meta, true
+		}
+	}
+	if hasMiss && len(miss.puts) == len(peers) {
+		unchanged := true
+		for i, peer := range peers {
+			if _, _, puts := peer.kv.Stats().Snapshot(); puts != miss.puts[i] {
+				unchanged = false
+				break
+			}
+		}
+		if unchanged {
+			return nil, ObjectMeta{}, false
+		}
+	}
+	for _, peer := range peers {
+		if peer == hit {
+			continue // already probed above
+		}
+		if meta, ok := probe(peer); ok {
+			h.fedMu.Lock()
+			if h.fedHits == nil {
+				h.fedHits = make(map[string]*Home)
+			}
+			h.fedHits[name] = peer
+			delete(h.fedMiss, name)
+			h.fedMu.Unlock()
+			return peer, meta, true
+		}
+	}
+	marks := make([]int, len(peers))
+	for i, peer := range peers {
+		_, _, marks[i] = peer.kv.Stats().Snapshot()
+	}
+	h.fedMu.Lock()
+	if h.fedMiss == nil {
+		h.fedMiss = make(map[string]fedMissMark)
+	}
+	h.fedMiss[name] = fedMissMark{puts: marks}
+	delete(h.fedHits, name)
+	h.fedMu.Unlock()
 	return nil, ObjectMeta{}, false
 }

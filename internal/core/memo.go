@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+
+	"cloud4home/internal/ids"
+	"cloud4home/internal/kv"
+	"cloud4home/internal/monitor"
+)
+
+// decodeMemo caches the most recent decode of hot key-value records —
+// object metadata and monitor resource rows — so repeated lookups of an
+// unchanged record skip the JSON pass (core.PerfConfig.BatchedMeta). Hits
+// are detected by comparing raw bytes, which stays correct even when a
+// key's version counter resets after delete/re-create; the stored copy is
+// private, so later kv writes can never corrupt a cached decode. Returned
+// structs share their slice fields across callers — decoded metadata is
+// read-only everywhere past decode, the ownership rule that makes the
+// share safe (DESIGN.md, "Hot-path performance").
+type decodeMemo struct {
+	mu   sync.Mutex
+	meta map[ids.ID]metaMemoEntry
+	res  map[ids.ID]resMemoEntry
+}
+
+type metaMemoEntry struct {
+	raw  []byte
+	meta ObjectMeta
+}
+
+type resMemoEntry struct {
+	raw []byte
+	res monitor.Resources
+}
+
+// objectMeta decodes an object record through the memo.
+//
+// c4h:hotpath
+func (m *decodeMemo) objectMeta(key ids.ID, v kv.Value) (ObjectMeta, error) {
+	m.mu.Lock()
+	if e, ok := m.meta[key]; ok && bytes.Equal(e.raw, v.Data) {
+		m.mu.Unlock()
+		return e.meta, nil
+	}
+	m.mu.Unlock()
+	meta, err := UnmarshalObjectMeta(v.Data)
+	if err != nil {
+		return ObjectMeta{}, err
+	}
+	raw := make([]byte, len(v.Data))
+	copy(raw, v.Data)
+	m.mu.Lock()
+	if m.meta == nil {
+		m.meta = make(map[ids.ID]metaMemoEntry)
+	}
+	m.meta[key] = metaMemoEntry{raw: raw, meta: meta}
+	m.mu.Unlock()
+	return meta, nil
+}
+
+// resources decodes a monitor record through the memo.
+//
+// c4h:hotpath
+func (m *decodeMemo) resources(key ids.ID, v kv.Value) (monitor.Resources, error) {
+	m.mu.Lock()
+	if e, ok := m.res[key]; ok && bytes.Equal(e.raw, v.Data) {
+		m.mu.Unlock()
+		return e.res, nil
+	}
+	m.mu.Unlock()
+	r, err := monitor.UnmarshalResources(v.Data)
+	if err != nil {
+		return monitor.Resources{}, err
+	}
+	raw := make([]byte, len(v.Data))
+	copy(raw, v.Data)
+	m.mu.Lock()
+	if m.res == nil {
+		m.res = make(map[ids.ID]resMemoEntry)
+	}
+	m.res[key] = resMemoEntry{raw: raw, res: r}
+	m.mu.Unlock()
+	return r, nil
+}

@@ -109,6 +109,9 @@ type Node struct {
 	pathMu sync.Mutex
 	paths  map[*Node]*netsim.Path // guarded by pathMu; memoised LAN paths per peer
 
+	flightMu sync.Mutex
+	flights  map[string]*fetchFlight // guarded by flightMu; joinable in-flight fetches
+
 	wg sync.WaitGroup // in-flight non-blocking operations
 
 	ops opCounters // cumulative operation counters
@@ -422,9 +425,22 @@ func wanDownPathFor(n *Node, cloud *cloudsim.Cloud) *netsim.Path {
 	return netsim.WANDownPath(cloud.DownPipe(), n.nic)
 }
 
-// resources looks up a candidate's monitored resource record.
+// resources looks up a candidate's monitored resource record. With
+// BatchedMeta on, the record is read zero-copy and decoded through the
+// home's memo: the decision layer queries every candidate per operation,
+// but records only change once per monitor period, so most lookups skip
+// the JSON pass. The kv walk (and its wire charges) is identical either
+// way.
 func (n *Node) resources(addr string) (monitor.Resources, error) {
-	return monitor.Lookup(n.home.kv, n.id, addr)
+	if !n.home.perf.BatchedMeta {
+		return monitor.Lookup(n.home.kv, n.id, addr)
+	}
+	key := monitor.Key(addr)
+	gr, err := n.home.kv.GetRef(n.id, key)
+	if err != nil {
+		return monitor.Resources{}, fmt.Errorf("monitor: lookup %s: %w", addr, err)
+	}
+	return n.home.memo.resources(key, gr.Value)
 }
 
 // chimeraIPC is the cost of one VStore++ ↔ metadata-layer exchange:
@@ -449,13 +465,18 @@ func (n *Node) putMeta(meta ObjectMeta) error {
 func (n *Node) getMeta(name string) (ObjectMeta, time.Duration, error) {
 	start := n.clock.Now()
 	n.clock.Sleep(chimeraIPC)
-	gr, err := n.home.kv.GetRef(n.id, ids.HashString(name))
+	key := ids.HashString(name)
+	gr, err := n.home.kv.GetRef(n.id, key)
 	lookup := n.clock.Now().Sub(start)
 	if err != nil {
 		if errors.Is(err, kv.ErrNotFound) {
 			return ObjectMeta{}, lookup, fmt.Errorf("%w: %q", ErrObjectNotFound, name)
 		}
 		return ObjectMeta{}, lookup, err
+	}
+	if n.home.perf.BatchedMeta {
+		meta, err := n.home.memo.objectMeta(key, gr.Value)
+		return meta, lookup, err
 	}
 	meta, err := UnmarshalObjectMeta(gr.Value.Data)
 	return meta, lookup, err

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"cloud4home/internal/vclock"
+)
+
+// coalesceRun stores one object with a real payload on the desktop and
+// has k concurrent sessions on the netbook fetch it (staggered 500 µs
+// apart), returning each session's payload and fetch latency plus the
+// netbook's coalesced-fetch counter.
+func coalesceRun(t *testing.T, perf PerfConfig, k int) ([][]byte, []time.Duration, int64) {
+	t.Helper()
+	v := vclock.NewVirtual(epoch)
+	var payloads [][]byte
+	var durs []time.Duration
+	var coalesced int64
+	v.Run(func() {
+		home := NewHome(v, HomeOptions{Seed: 7, Perf: perf})
+		desktop, err := home.AddNode(NodeConfig{
+			Addr: "desktop:9000", Machine: desktopSpec(),
+			MandatoryBytes: 8 * GB, VoluntaryBytes: 8 * GB,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		netbook, err := home.AddNode(NodeConfig{
+			Addr: "netbook:9000", Machine: atomSpec("netbook"),
+			MandatoryBytes: 2 * GB, VoluntaryBytes: 1 * GB,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, n := range home.Nodes() {
+			_ = n.Monitor().PublishOnce()
+		}
+
+		writer, err := desktop.OpenSession()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer writer.Close()
+		data := bytes.Repeat([]byte("hot-object-"), 64<<10) // ~704 KB
+		if _, err := writer.StoreObjectData("hot.bin", "b", data, StoreOptions{Blocking: true}); err != nil {
+			t.Error(err)
+			return
+		}
+
+		payloads = make([][]byte, k)
+		durs = make([]time.Duration, k)
+		var wg sync.WaitGroup
+		for w := 0; w < k; w++ {
+			w := w
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				sess, err := netbook.OpenSession()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer sess.Close()
+				v.Sleep(time.Duration(w) * 500 * time.Microsecond)
+				start := v.Now()
+				fr, err := sess.FetchObject("hot.bin")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				payloads[w] = fr.Data
+				durs[w] = v.Now().Sub(start)
+			})
+		}
+		v.Block(wg.Wait)
+		coalesced = netbook.OpStats().CoalescedFetches
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	return payloads, durs, coalesced
+}
+
+// TestCoalescedFetchSharesOneTransfer: with the gate on, k concurrent
+// fetches of one hot object run exactly one wire transfer — the k-1
+// followers join it — every session still gets the full payload, and the
+// whole run (leader election, waiter wake order, per-waiter charges) is
+// deterministic across repetitions.
+func TestCoalescedFetchSharesOneTransfer(t *testing.T) {
+	const k = 4
+	perf := PerfConfig{CoalesceFetch: true}
+	payloads, durs, coalesced := coalesceRun(t, perf, k)
+
+	if coalesced != k-1 {
+		t.Fatalf("coalesced %d fetches, want %d (one leader, rest followers)", coalesced, k-1)
+	}
+	want := bytes.Repeat([]byte("hot-object-"), 64<<10)
+	for w, p := range payloads {
+		if !bytes.Equal(p, want) {
+			t.Fatalf("session %d got %d bytes, want %d identical to the stored payload", w, len(p), len(want))
+		}
+	}
+	// Followers must finish with the leader: they are charged exactly the
+	// virtual time until the shared transfer lands, so each later arrival
+	// waits strictly less.
+	for w := 2; w < k; w++ {
+		if durs[w] >= durs[w-1] {
+			t.Fatalf("follower %d waited %v, not below follower %d's %v", w, durs[w], w-1, durs[w-1])
+		}
+	}
+
+	for trial := 0; trial < 2; trial++ {
+		p2, d2, c2 := coalesceRun(t, perf, k)
+		if c2 != coalesced {
+			t.Fatalf("trial %d coalesced %d, first run %d", trial, c2, coalesced)
+		}
+		for w := range durs {
+			if d2[w] != durs[w] {
+				t.Fatalf("trial %d: session %d latency %v, first run %v", trial, w, d2[w], durs[w])
+			}
+			if !bytes.Equal(p2[w], payloads[w]) {
+				t.Fatalf("trial %d: session %d payload differs from first run", trial, w)
+			}
+		}
+	}
+
+	// Gate off: no coalescing happens and every session pays for its own
+	// transfer, so the concurrent batch is strictly slower.
+	pOff, dOff, cOff := coalesceRun(t, PerfConfig{}, k)
+	if cOff != 0 {
+		t.Fatalf("gate off but %d fetches coalesced", cOff)
+	}
+	for w, p := range pOff {
+		if !bytes.Equal(p, want) {
+			t.Fatalf("gate off: session %d payload corrupt", w)
+		}
+	}
+	if dOff[k-1] <= durs[k-1] {
+		t.Fatalf("solo transfers (%v) not slower than coalesced (%v)", dOff[k-1], durs[k-1])
+	}
+}

@@ -44,6 +44,14 @@ type OpStats struct {
 	// placement failed — the object was accepted into dom0 but never
 	// reached stable storage (the prototype's degrade-to-drop path).
 	AsyncPlaceDrops int64
+	// FederatedProbes counts neighbour-home metadata queries issued by
+	// this node's fetch misses; the federated lookup memo exists to keep
+	// this from growing linearly in peers × misses.
+	FederatedProbes int64
+	// CoalescedFetches counts remote fetches that joined another in-flight
+	// fetch of the same object instead of running their own wire transfer;
+	// zero unless PerfConfig.CoalesceFetch is on.
+	CoalescedFetches int64
 }
 
 // opCounters is the node-internal atomic representation. The counters
@@ -68,6 +76,8 @@ type opCounters struct {
 	objectsRepaired  atomic.Int64
 	replicasRestored atomic.Int64
 	asyncPlaceDrops  atomic.Int64
+	federatedProbes  atomic.Int64
+	coalescedFetches atomic.Int64
 }
 
 func (c *opCounters) snapshot() OpStats {
@@ -90,6 +100,8 @@ func (c *opCounters) snapshot() OpStats {
 		ObjectsRepaired:  c.objectsRepaired.Load(),
 		ReplicasRestored: c.replicasRestored.Load(),
 		AsyncPlaceDrops:  c.asyncPlaceDrops.Load(),
+		FederatedProbes:  c.federatedProbes.Load(),
+		CoalescedFetches: c.coalescedFetches.Load(),
 	}
 }
 

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cloud4home/internal/cluster"
+	"cloud4home/internal/core"
+	"cloud4home/internal/vclock"
+)
+
+// HotPathConfig parameterises the hot-path gate verification driver: it
+// proves the result-preserving gates (lazy RNG, sharded clock, batched
+// metadata) change host wall-clock but not one bit of the simulation's
+// output, and measures what fetch coalescing — the one modeled behaviour
+// change — buys on a hot object.
+type HotPathConfig struct {
+	Seed int64
+	// Workers bounds host-side concurrency of the scale-up cells.
+	Workers int
+	// Perf is the gate set under test. CoalesceFetch is ignored here (it
+	// is a modeled change, measured by the coalescing section instead).
+	Perf core.PerfConfig
+	// CoalesceClients concurrent sessions fetch the same hot object in the
+	// coalescing section.
+	CoalesceClients int
+	// CoalesceSize is the hot object's size.
+	CoalesceSize int64
+	// Host is the clock that times the sweeps' host-side (real) duration —
+	// the one number the result-preserving gates are allowed to change.
+	// Nil means the real wall clock.
+	Host vclock.Clock
+}
+
+// DefaultHotPath turns on every result-preserving gate.
+func DefaultHotPath(seed int64) HotPathConfig {
+	return HotPathConfig{
+		Seed:            seed,
+		Perf:            core.PerfConfig{LazyRNG: true, SimShards: 4, BatchedMeta: true},
+		CoalesceClients: 4,
+		CoalesceSize:    8 * MB,
+	}
+}
+
+// CoalesceResult compares concurrent hot-object fetches with and without
+// request coalescing.
+type CoalesceResult struct {
+	// Requests is the concurrent session count.
+	Requests int
+	// Coalesced counts followers that joined the leader's transfer.
+	Coalesced int64
+	// SoloWall/SoloFetch: every session runs its own wire transfer, all of
+	// them processor-sharing the holder's NIC.
+	SoloWall  time.Duration
+	SoloFetch Stats
+	// SharedWall/SharedFetch: one wire transfer, followers charged exactly
+	// the virtual time until the leader's bytes arrive.
+	SharedWall  time.Duration
+	SharedFetch Stats
+}
+
+// HotPathResult is RunHotPath's comparison.
+type HotPathResult struct {
+	// Baseline ran with every gate off, Gated with cfg.Perf.
+	Baseline, Gated *ScaleUpResult
+	// BaselineHost/GatedHost are host (real) wall-clock times for the two
+	// scale-up sweeps — the only numbers the gates may change.
+	BaselineHost, GatedHost time.Duration
+	// Identical reports that every virtual-time metric matched exactly;
+	// Mismatch names the first difference otherwise.
+	Identical bool
+	Mismatch  string
+	Coalesce  CoalesceResult
+}
+
+// Speedup is the host wall-clock ratio baseline/gated.
+func (r *HotPathResult) Speedup() float64 {
+	if r.GatedHost <= 0 {
+		return 0
+	}
+	return float64(r.BaselineHost) / float64(r.GatedHost)
+}
+
+// RunHotPath runs the scale-up sweep twice — gates off, then gates on —
+// and verifies the reported virtual-time results are bit-identical while
+// recording the host wall-clock of each pass. It then measures the
+// coalescing gate separately, since that one intentionally changes the
+// modeled schedule.
+func RunHotPath(cfg HotPathConfig) (*HotPathResult, error) {
+	if cfg.CoalesceClients <= 0 {
+		cfg.CoalesceClients = 4
+	}
+	if cfg.CoalesceSize <= 0 {
+		cfg.CoalesceSize = 8 * MB
+	}
+	host := cfg.Host
+	if host == nil {
+		host = vclock.Real{}
+	}
+	res := &HotPathResult{}
+
+	sweep := DefaultScaleUp(cfg.Seed)
+	sweep.Workers = cfg.Workers
+	t0 := host.Now()
+	baseline, err := RunScaleUp(sweep)
+	if err != nil {
+		return nil, fmt.Errorf("hot path baseline: %w", err)
+	}
+	res.BaselineHost = host.Now().Sub(t0)
+
+	sweep.Perf = cfg.Perf
+	sweep.Perf.CoalesceFetch = false
+	t1 := host.Now()
+	gated, err := RunScaleUp(sweep)
+	if err != nil {
+		return nil, fmt.Errorf("hot path gated: %w", err)
+	}
+	res.GatedHost = host.Now().Sub(t1)
+	res.Baseline, res.Gated = baseline, gated
+	res.Identical, res.Mismatch = compareScaleUp(baseline, gated)
+
+	res.Coalesce.Requests = cfg.CoalesceClients
+	solo, err := runCoalesceCell(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("coalesce off: %w", err)
+	}
+	res.Coalesce.SoloWall, res.Coalesce.SoloFetch = solo.wall, solo.fetch
+	shared, err := runCoalesceCell(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("coalesce on: %w", err)
+	}
+	res.Coalesce.SharedWall, res.Coalesce.SharedFetch = shared.wall, shared.fetch
+	res.Coalesce.Coalesced = shared.coalesced
+	return res, nil
+}
+
+// compareScaleUp reports whether two sweeps produced identical rows, and
+// if not, where they first diverge. Rows are plain value structs, so ==
+// is an exact bitwise comparison of every reported metric.
+func compareScaleUp(a, b *ScaleUpResult) (bool, string) {
+	if len(a.Rows) != len(b.Rows) {
+		return false, fmt.Sprintf("row count %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			return false, fmt.Sprintf("row %d: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	return true, ""
+}
+
+type coalesceCell struct {
+	wall      time.Duration
+	fetch     Stats
+	coalesced int64
+}
+
+// runCoalesceCell stores one hot object on the desktop and has
+// CoalesceClients sessions on one netbook fetch it near-simultaneously
+// (staggered 500 µs apart so the run is deterministic).
+func runCoalesceCell(cfg HotPathConfig, coalesce bool) (coalesceCell, error) {
+	perf := cfg.Perf
+	perf.CoalesceFetch = coalesce
+	tb, err := cluster.New(cluster.Options{Seed: cfg.Seed, Perf: perf})
+	if err != nil {
+		return coalesceCell{}, err
+	}
+	const name = "hotpath/coalesce.bin"
+	var cell coalesceCell
+	var runErr error
+	tb.Run(func() {
+		writer, err := tb.Desktop.OpenSession()
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer writer.Close()
+		if err := writer.CreateObject(name, "b", nil); err != nil {
+			runErr = err
+			return
+		}
+		if _, err := writer.StoreObject(name, nil, cfg.CoalesceSize, core.StoreOptions{Blocking: true}); err != nil {
+			runErr = err
+			return
+		}
+		reader := tb.Netbooks[1]
+		durs := make([]time.Duration, cfg.CoalesceClients)
+		var ferr firstErr
+		var wg sync.WaitGroup
+		start := tb.V.Now()
+		for w := 0; w < cfg.CoalesceClients; w++ {
+			w := w
+			wg.Add(1)
+			tb.V.Go(func() {
+				defer wg.Done()
+				sess, err := reader.OpenSession()
+				if err != nil {
+					ferr.set(err)
+					return
+				}
+				defer sess.Close()
+				tb.V.Sleep(time.Duration(w) * 500 * time.Microsecond)
+				s0 := tb.V.Now()
+				if _, err := sess.FetchObject(name); err != nil {
+					ferr.set(err)
+					return
+				}
+				durs[w] = tb.V.Now().Sub(s0)
+			})
+		}
+		tb.V.Block(wg.Wait)
+		runErr = ferr.get()
+		cell.wall = tb.V.Now().Sub(start)
+		cell.fetch = Summarize(durs)
+		cell.coalesced = reader.OpStats().CoalescedFetches
+	})
+	if runErr != nil {
+		return coalesceCell{}, runErr
+	}
+	return cell, nil
+}
+
+// Table renders the comparison.
+func (r *HotPathResult) Table() Table {
+	ident := "DIVERGED: " + r.Mismatch
+	if r.Identical {
+		ident = "bit-identical"
+	}
+	return Table{
+		Title:   "Hot path: gated simulation speed vs baseline (identical results)",
+		Headers: []string{"Measure", "Baseline", "Gated"},
+		Rows: [][]string{
+			{"scale-up host wall", r.BaselineHost.Round(time.Millisecond).String(), r.GatedHost.Round(time.Millisecond).String()},
+			{"host speedup", "1.00x", fmt.Sprintf("%.2fx", r.Speedup())},
+			{"virtual-time results", ident, ident},
+			{fmt.Sprintf("coalesce wall (%d readers)", r.Coalesce.Requests),
+				Seconds(r.Coalesce.SoloWall), Seconds(r.Coalesce.SharedWall)},
+			{"coalesce fetch mean", Seconds(r.Coalesce.SoloFetch.Mean), Seconds(r.Coalesce.SharedFetch.Mean)},
+			{"coalesced followers", "0", fmt.Sprintf("%d", r.Coalesce.Coalesced)},
+		},
+	}
+}

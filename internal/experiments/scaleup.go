@@ -24,6 +24,16 @@ type ScaleUpConfig struct {
 	ObjectSize int64
 	// Replicas is the payload replica count in the striped modes.
 	Replicas int
+	// Workers bounds how many (mode, clients) cells run concurrently on
+	// host goroutines (0/1 = sequential). Every cell is its own virtual
+	// clock universe, so results are identical at any worker count; the
+	// cells just overlap on host CPUs.
+	Workers int
+	// Perf gates the hot-path performance work inside each cell's testbed.
+	// All result-preserving gates leave every reported number bit-identical
+	// (RunHotPath verifies this); they only change the host-side cost of
+	// simulating each event.
+	Perf core.PerfConfig
 }
 
 // DefaultScaleUp sweeps 1, 2 and 4 client threads over four 8 MB objects.
@@ -75,101 +85,153 @@ func scaleUpModes(cfg ScaleUpConfig) []struct {
 // RunScaleUp executes the sweep. All objects are stored by the desktop
 // (the single primary holder), so sequential fetches serialise on its
 // NIC; striping spreads the load over the replica holders, and the cache
-// turns each reader's second sweep into local hits.
+// turns each reader's second sweep into local hits. The (mode, clients)
+// cells are independent simulations; Workers > 1 runs them concurrently
+// on host goroutines with results merged by index.
 func RunScaleUp(cfg ScaleUpConfig) (*ScaleUpResult, error) {
-	res := &ScaleUpResult{}
 	maxClients := 0
 	for _, c := range cfg.Clients {
 		if c > maxClients {
 			maxClients = c
 		}
 	}
+	type cellSpec struct {
+		mode    string
+		dp      core.DataPlaneConfig
+		clients int
+	}
+	var cells []cellSpec
 	for _, mode := range scaleUpModes(cfg) {
 		for _, clients := range cfg.Clients {
-			// Readers start at netbook index cfg.Replicas so they never hold
-			// a replica themselves (replicateData fills the lowest-address
-			// netbooks first, all voluntary bins being equal).
-			tb, err := cluster.New(cluster.Options{
-				Seed:      cfg.Seed,
-				Netbooks:  cfg.Replicas + maxClients,
-				DataPlane: mode.dp,
-			})
+			cells = append(cells, cellSpec{mode: mode.name, dp: mode.dp, clients: clients})
+		}
+	}
+	rows := make([]ScaleUpRow, len(cells))
+	errs := make([]error, len(cells))
+
+	runCell := func(i int) {
+		mode, clients := cells[i], cells[i].clients
+		// Readers start at netbook index cfg.Replicas so they never hold
+		// a replica themselves (replicateData fills the lowest-address
+		// netbooks first, all voluntary bins being equal).
+		tb, err := cluster.New(cluster.Options{
+			Seed:      cfg.Seed,
+			Netbooks:  cfg.Replicas + maxClients,
+			DataPlane: mode.dp,
+			Perf:      cfg.Perf,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		row := ScaleUpRow{Mode: mode.mode, Clients: clients}
+		var runErr error
+		tb.Run(func() {
+			writer, err := tb.Desktop.OpenSession()
 			if err != nil {
-				return nil, err
+				runErr = err
+				return
 			}
-			row := ScaleUpRow{Mode: mode.name, Clients: clients}
-			var runErr error
-			tb.Run(func() {
-				writer, err := tb.Desktop.OpenSession()
-				if err != nil {
+			defer writer.Close()
+			names := make([]string, cfg.Objects)
+			for j := range names {
+				names[j] = fmt.Sprintf("scaleup/%s/%d.bin", mode.mode, j)
+				if err := writer.CreateObject(names[j], "b", nil); err != nil {
 					runErr = err
 					return
 				}
-				defer writer.Close()
-				names := make([]string, cfg.Objects)
-				for i := range names {
-					names[i] = fmt.Sprintf("scaleup/%s/%d.bin", mode.name, i)
-					if err := writer.CreateObject(names[i], "b", nil); err != nil {
-						runErr = err
-						return
-					}
-					if _, err := writer.StoreObject(names[i], nil, cfg.ObjectSize, core.StoreOptions{Blocking: true}); err != nil {
-						runErr = err
-						return
-					}
+				if _, err := writer.StoreObject(names[j], nil, cfg.ObjectSize, core.StoreOptions{Blocking: true}); err != nil {
+					runErr = err
+					return
 				}
-
-				// Every reader sweeps the hot set twice, on its own netbook.
-				// Indexed result slots plus a per-worker stagger keep the run
-				// deterministic under the virtual clock.
-				durs := make([][]time.Duration, clients)
-				var ferr firstErr
-				var wg sync.WaitGroup
-				start := tb.V.Now()
-				for w := 0; w < clients; w++ {
-					w := w
-					wg.Add(1)
-					tb.V.Go(func() {
-						defer wg.Done()
-						sess, err := tb.Netbooks[cfg.Replicas+w].OpenSession()
-						if err != nil {
-							ferr.set(err)
-							return
-						}
-						defer sess.Close()
-						tb.V.Sleep(time.Duration(w) * 500 * time.Microsecond)
-						for pass := 0; pass < 2; pass++ {
-							for _, name := range names {
-								s0 := tb.V.Now()
-								if _, err := sess.FetchObject(name); err != nil {
-									ferr.set(fmt.Errorf("fetch %s: %w", name, err))
-									return
-								}
-								durs[w] = append(durs[w], tb.V.Now().Sub(s0))
-							}
-						}
-					})
-				}
-				tb.V.Block(wg.Wait)
-				if runErr == nil {
-					runErr = ferr.get()
-				}
-				row.Wall = tb.V.Now().Sub(start)
-				var all []time.Duration
-				for _, d := range durs {
-					all = append(all, d...)
-				}
-				row.Fetch = Summarize(all)
-				moved := int64(clients) * 2 * int64(cfg.Objects) * cfg.ObjectSize
-				row.AggregateMBps = Throughput(moved, row.Wall)
-			})
-			if runErr != nil {
-				return nil, fmt.Errorf("scale-up %s clients=%d: %w", mode.name, clients, runErr)
 			}
-			res.Rows = append(res.Rows, row)
+
+			// Every reader sweeps the hot set twice, on its own netbook.
+			// Indexed result slots plus a per-worker stagger keep the run
+			// deterministic under the virtual clock.
+			durs := make([][]time.Duration, clients)
+			var ferr firstErr
+			var wg sync.WaitGroup
+			start := tb.V.Now()
+			for w := 0; w < clients; w++ {
+				w := w
+				wg.Add(1)
+				tb.V.Go(func() {
+					defer wg.Done()
+					sess, err := tb.Netbooks[cfg.Replicas+w].OpenSession()
+					if err != nil {
+						ferr.set(err)
+						return
+					}
+					defer sess.Close()
+					tb.V.Sleep(time.Duration(w) * 500 * time.Microsecond)
+					for pass := 0; pass < 2; pass++ {
+						for _, name := range names {
+							s0 := tb.V.Now()
+							if _, err := sess.FetchObject(name); err != nil {
+								ferr.set(fmt.Errorf("fetch %s: %w", name, err))
+								return
+							}
+							durs[w] = append(durs[w], tb.V.Now().Sub(s0))
+						}
+					}
+				})
+			}
+			tb.V.Block(wg.Wait)
+			if runErr == nil {
+				runErr = ferr.get()
+			}
+			row.Wall = tb.V.Now().Sub(start)
+			var all []time.Duration
+			for _, d := range durs {
+				all = append(all, d...)
+			}
+			row.Fetch = Summarize(all)
+			moved := int64(clients) * 2 * int64(cfg.Objects) * cfg.ObjectSize
+			row.AggregateMBps = Throughput(moved, row.Wall)
+		})
+		if runErr != nil {
+			errs[i] = fmt.Errorf("scale-up %s clients=%d: %w", mode.mode, clients, runErr)
+			return
+		}
+		rows[i] = row
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers == 1 {
+		for i := range cells {
+			runCell(i)
+		}
+	} else {
+		q := &jobQueue{limit: len(cells)}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i, ok := q.take()
+					if !ok {
+						return
+					}
+					runCell(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
-	return res, nil
+	return &ScaleUpResult{Rows: rows}, nil
 }
 
 // Row returns the (mode, clients) measurement, or false.

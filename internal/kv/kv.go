@@ -83,6 +83,14 @@ type Options struct {
 	// the coordinator is a single point of failure. The DHT/centralized
 	// ablation compares the two.
 	Centralized bool
+	// RouteMemo caches resolved ownership routes (core.PerfConfig's
+	// BatchedMeta gate): repeated lookups from the same origin for the same
+	// key replay the cached hop sequence instead of walking the overlay
+	// again. The replay issues the exact wire messages the walk would, so
+	// modeled time is unchanged; only the host-side routing work is saved.
+	// The memo is dropped whenever membership changes, so cached routes
+	// always reflect the live mesh.
+	RouteMemo bool
 }
 
 // Broadcaster is an optional capability of the wire: delivering one
@@ -140,7 +148,33 @@ type Store struct {
 	nodes       map[ids.ID]*nodeStore
 	coordinator ids.ID // centralized mode: the node holding every key
 
+	routeMu sync.Mutex
+	routes  map[routeKey]routeEntry
+
 	stats Stats
+}
+
+// routeKey identifies one memoised route: requests for key starting at
+// from always take the same path while membership holds still.
+type routeKey struct{ from, key ids.ID }
+
+// routeEntry caches a resolved route: the owner plus the hop sequence the
+// walk charged, so a memo hit replays identical wire traffic.
+type routeEntry struct {
+	owner ids.ID
+	hops  [][2]ids.ID
+}
+
+// dropRoutes forgets every memoised route. Called on any membership
+// change: routes are a pure function of the live mesh, so a stale entry
+// could replay hops through a departed node or miss a closer newcomer.
+func (s *Store) dropRoutes() {
+	if !s.opts.RouteMemo {
+		return
+	}
+	s.routeMu.Lock()
+	s.routes = nil
+	s.routeMu.Unlock()
 }
 
 // Stats counts store activity (used by the caching/replication ablations).
@@ -197,8 +231,15 @@ func (s *Store) Attach(node ids.ID) {
 	// Hand-over order is observable in the wire trace; keep it stable.
 	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
 
-	s.mesh.OnDeparture(node, func(overlay.Member) { s.repair(node) })
-	s.mesh.OnJoin(node, func(joined overlay.Member) { s.handOver(node, joined.ID) })
+	s.mesh.OnDeparture(node, func(overlay.Member) {
+		s.dropRoutes()
+		s.repair(node)
+	})
+	s.mesh.OnJoin(node, func(joined overlay.Member) {
+		s.dropRoutes()
+		s.handOver(node, joined.ID)
+	})
+	s.dropRoutes()
 
 	// Nodes attach after joining the mesh, so the join handlers above ran
 	// before this slice existed. Pull the keys this node is now
@@ -211,8 +252,9 @@ func (s *Store) Attach(node ids.ID) {
 // Detach removes a node's slice (after it has left the mesh).
 func (s *Store) Detach(node ids.ID) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.nodes, node)
+	s.mu.Unlock()
+	s.dropRoutes()
 }
 
 func (s *Store) node(id ids.ID) (*nodeStore, error) {
@@ -243,9 +285,34 @@ func (s *Store) locateOwner(from, key ids.ID) (ids.ID, int, error) {
 		}
 		return coord, 0, nil
 	}
+	if s.opts.RouteMemo {
+		s.routeMu.Lock()
+		e, hit := s.routes[routeKey{from, key}]
+		s.routeMu.Unlock()
+		if hit {
+			// Replay the walk's exact wire charges: same messages, same
+			// hops, same instants as re-routing would produce.
+			for _, h := range e.hops {
+				s.wire.Send(h[0], h[1])
+			}
+			return e.owner, len(e.hops), nil
+		}
+	}
 	res, err := s.mesh.Route(from, key)
 	if err != nil {
 		return 0, 0, err
+	}
+	if s.opts.RouteMemo {
+		e := routeEntry{owner: res.Owner.ID, hops: make([][2]ids.ID, 0, res.Hops)}
+		for i := 1; i < len(res.Path); i++ {
+			e.hops = append(e.hops, [2]ids.ID{res.Path[i-1].ID, res.Path[i].ID})
+		}
+		s.routeMu.Lock()
+		if s.routes == nil {
+			s.routes = make(map[routeKey]routeEntry)
+		}
+		s.routes[routeKey{from, key}] = e
+		s.routeMu.Unlock()
 	}
 	return res.Owner.ID, res.Hops, nil
 }

@@ -2,8 +2,9 @@ package netsim
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
+
+	"cloud4home/internal/detrand"
 )
 
 // This file provides the concurrent-transfer helpers behind the striped
@@ -51,7 +52,7 @@ type TransferStatus struct {
 // stripe is the event-loop state of one in-flight member.
 type stripe struct {
 	req       TransferReq
-	rng       *rand.Rand
+	rng       *detrand.Rand
 	chunk     int64
 	remaining int64
 	moved     int64
@@ -95,7 +96,7 @@ func (st *stripe) scheduleNext(now time.Time) {
 		if send > st.window {
 			send = st.window
 		}
-		rt := time.Duration(float64(p.RTT) * jitter(st.rng, p.Jitter))
+		rt := time.Duration(float64(p.RTT) * jitter(st.rng.Rand, p.Jitter))
 		bw := time.Duration(float64(send) / st.rateFor() * float64(time.Second))
 		d = rt
 		if bw > d {
@@ -106,7 +107,7 @@ func (st *stripe) scheduleNext(now time.Time) {
 		if send > st.chunk {
 			send = st.chunk
 		}
-		d = time.Duration(float64(send) / st.rateFor() * float64(time.Second) * jitter(st.rng, p.Jitter))
+		d = time.Duration(float64(send) / st.rateFor() * float64(time.Second) * jitter(st.rng.Rand, p.Jitter))
 	}
 	st.pending = send
 	st.pendDur = d
@@ -145,7 +146,7 @@ func (n *Network) TransferSet(reqs []TransferReq) ([]TransferStatus, time.Durati
 		}
 		// Setup + first-byte latency is the first event; zero-byte members
 		// degrade to a bare message.
-		st.pendDur = r.Path.Setup + time.Duration(float64(r.Path.RTT/2)*jitter(st.rng, r.Path.Jitter))
+		st.pendDur = r.Path.Setup + time.Duration(float64(r.Path.RTT/2)*jitter(st.rng.Rand, r.Path.Jitter))
 		st.readyAt = start.Add(st.pendDur)
 		if r.Path.SlowStart != nil {
 			st.window = r.Path.SlowStart.InitWindow
@@ -157,6 +158,8 @@ func (n *Network) TransferSet(reqs []TransferReq) ([]TransferStatus, time.Durati
 		for _, res := range st.req.Path.Resources {
 			res.release()
 		}
+		putRNG(st.rng)
+		st.rng = nil
 	}
 
 	now := start
@@ -222,11 +225,12 @@ func (n *Network) MessageAll(p *Path, k int) time.Duration {
 	rng := n.rng()
 	var max time.Duration
 	for i := 0; i < k; i++ {
-		d := time.Duration(float64(p.RTT/2) * jitter(rng, p.Jitter))
+		d := time.Duration(float64(p.RTT/2) * jitter(rng.Rand, p.Jitter))
 		if d > max {
 			max = d
 		}
 	}
+	putRNG(rng)
 	n.clock.Sleep(max)
 	return max
 }

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cloud4home/internal/detrand"
 	"cloud4home/internal/vclock"
 )
 
@@ -167,6 +168,7 @@ func (p *Path) Validate() error {
 type Network struct {
 	clock vclock.Clock
 	seed  int64
+	lazy  bool
 	ctr   atomic.Uint64
 }
 
@@ -177,16 +179,32 @@ func New(clock vclock.Clock, seed int64) *Network {
 	return &Network{clock: clock, seed: seed}
 }
 
+// EnableLazyRNG switches per-operation jitter streams to the lazily
+// materialised generator engine (core.PerfConfig.LazyRNG). Every drawn
+// value is bit-identical to the default engine — detrand verifies the
+// equivalence against math/rand at startup — so schedules and results do
+// not change; only the per-operation seeding cost does. Call during
+// setup, before traffic flows.
+func (n *Network) EnableLazyRNG() { n.lazy = true }
+
 // Clock returns the clock the network charges time to.
 func (n *Network) Clock() vclock.Clock { return n.clock }
 
-// rng returns a fresh deterministic source for one operation. Each
+// rng returns a pooled deterministic source for one operation. Each
 // operation gets its own stream so concurrent goroutines cannot perturb
-// each other's randomness.
-func (n *Network) rng() *rand.Rand {
+// each other's randomness. Pair with putRNG when the operation's draws
+// are done.
+//
+// c4h:hotpath
+func (n *Network) rng() *detrand.Rand {
 	k := n.ctr.Add(1)
-	return rand.New(rand.NewSource(n.seed*1_000_003 + int64(k)))
+	return detrand.Get(n.seed*1_000_003+int64(k), n.lazy)
 }
+
+// putRNG recycles an operation's generator.
+//
+// c4h:hotpath
+func putRNG(r *detrand.Rand) { detrand.Put(r) }
 
 // jitter returns a multiplicative noise factor ≥ 0.1 with mean 1 and
 // standard deviation j.
@@ -204,7 +222,8 @@ func jitter(rng *rand.Rand, j float64) float64 {
 // c4h:hotpath
 func (n *Network) Message(p *Path) time.Duration {
 	rng := n.rng()
-	d := time.Duration(float64(p.RTT/2) * jitter(rng, p.Jitter))
+	d := time.Duration(float64(p.RTT/2) * jitter(rng.Rand, p.Jitter))
+	putRNG(rng)
 	n.clock.Sleep(d)
 	return d
 }
@@ -236,11 +255,13 @@ func (n *Network) Transfer(p *Path, size int64) time.Duration {
 	if size <= 0 {
 		return n.Message(p)
 	}
-	rng := n.rng()
+	prng := n.rng()
+	rng := prng.Rand
 	for _, r := range p.Resources {
 		r.acquire()
 	}
 	defer func() {
+		putRNG(prng)
 		for _, r := range p.Resources {
 			r.release()
 		}

@@ -8,6 +8,19 @@
 // participating in an experiment register as workers (Go or Add/Done);
 // when every registered worker is blocked in Sleep, virtual time jumps to
 // the earliest pending deadline and the corresponding sleepers wake.
+//
+// Two scheduler engines share that contract:
+//
+//   - the default engine keeps one global deadline heap and wakes
+//     sleepers through a condition-variable broadcast;
+//   - the sharded engine (NewVirtualSharded, enabled by
+//     core.PerfConfig.SimShards) spreads sleepers round-robin over
+//     per-shard heaps merged deterministically at each advance.
+//
+// Both engines wake exactly one sleeper per advance in (deadline, seq)
+// order, so they produce bit-identical schedules; the sharded engine just
+// keeps every heap 1/shards the size, so each push and pop touches a
+// fraction of the comparisons the global heap would.
 package vclock
 
 import (
@@ -45,9 +58,10 @@ type Virtual struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	now     time.Time
-	active  int // registered workers currently runnable
-	sleeper sleeperHeap
-	seq     uint64 // tie-break so equal deadlines wake FIFO
+	active  int           // registered workers currently runnable
+	sleeper sleeperHeap   // default engine: one global heap
+	shards  []sleeperHeap // sharded engine when non-nil
+	seq     uint64        // tie-break so equal deadlines wake FIFO
 }
 
 var _ Clock = (*Virtual)(nil)
@@ -57,6 +71,21 @@ var _ Clock = (*Virtual)(nil)
 func NewVirtual(epoch time.Time) *Virtual {
 	v := &Virtual{now: epoch}
 	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// NewVirtualSharded returns a virtual clock whose sleeper queue is split
+// over shards per-shard heaps with a deterministic k-way merge at every
+// advance, so each push/pop works on a heap 1/shards the size. Schedules
+// are bit-identical to NewVirtual at any shard count; only the
+// wall-clock cost per event differs. Shard counts below one are clamped
+// to one.
+func NewVirtualSharded(epoch time.Time, shards int) *Virtual {
+	if shards < 1 {
+		shards = 1
+	}
+	v := NewVirtual(epoch)
+	v.shards = make([]sleeperHeap, shards)
 	return v
 }
 
@@ -116,15 +145,22 @@ func (v *Virtual) Block(fn func()) {
 }
 
 // Sleep implements Clock. The caller must be a registered worker.
+//
+// c4h:hotpath
 func (v *Virtual) Sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	s := getSleeper()
 	v.mu.Lock()
-	deadline := v.now.Add(d)
-	s := &sleeper{deadline: deadline, seq: v.seq}
+	s.deadline = v.now.Add(d)
+	s.seq = v.seq
 	v.seq++
-	heap.Push(&v.sleeper, s)
+	if v.shards != nil {
+		heap.Push(&v.shards[s.seq%uint64(len(v.shards))], s)
+	} else {
+		heap.Push(&v.sleeper, s)
+	}
 	v.active--
 	if v.active == 0 {
 		v.advanceLocked()
@@ -133,6 +169,7 @@ func (v *Virtual) Sleep(d time.Duration) {
 		v.cond.Wait()
 	}
 	v.mu.Unlock()
+	putSleeper(s)
 }
 
 // advanceLocked jumps time to the earliest deadline and wakes exactly
@@ -146,7 +183,39 @@ func (v *Virtual) Sleep(d time.Duration) {
 // always touched in deadline order, never in Go-scheduler order. When
 // the woken worker sleeps or finishes, the next sleeper due at the same
 // instant wakes; virtual time never regresses.
+//
+// The sharded engine merges the shard heads — the global minimum by
+// (deadline, seq) is the same sleeper a single heap would pop, so the
+// wake order (and therefore every downstream schedule) is invariant
+// under the shard count.
+//
+// c4h:hotpath
 func (v *Virtual) advanceLocked() {
+	if v.shards != nil {
+		bi := -1
+		var best *sleeper
+		for i := range v.shards {
+			if len(v.shards[i]) == 0 {
+				continue
+			}
+			h := v.shards[i][0]
+			if best == nil || h.deadline.Before(best.deadline) ||
+				(h.deadline.Equal(best.deadline) && h.seq < best.seq) {
+				best, bi = h, i
+			}
+		}
+		if best == nil {
+			return
+		}
+		if best.deadline.After(v.now) {
+			v.now = best.deadline
+		}
+		heap.Pop(&v.shards[bi])
+		best.woken = true
+		v.active++
+		v.cond.Broadcast()
+		return
+	}
 	if v.sleeper.Len() == 0 {
 		return
 	}
@@ -160,12 +229,94 @@ func (v *Virtual) advanceLocked() {
 	v.cond.Broadcast()
 }
 
+// Event is a deterministic one-shot broadcast point for registered
+// workers: waiters park exactly like sleepers, and Fire releases them
+// through the normal advance machinery — each waiter is enqueued at the
+// current instant with a fresh sequence number in arrival order, so they
+// wake one at a time, FIFO, regardless of Go scheduling. The fetch
+// coalescing layer uses it to block follower fetches on the leader's
+// transfer without perturbing the schedule.
+type Event struct {
+	v       *Virtual
+	fired   bool
+	waiters []*sleeper
+}
+
+// NewEvent returns an unfired event bound to the clock.
+func (v *Virtual) NewEvent() *Event { return &Event{v: v} }
+
+// Wait parks the calling registered worker until Fire. Waiting on an
+// already-fired event returns immediately without yielding the schedule.
+func (e *Event) Wait() {
+	v := e.v
+	s := getSleeper()
+	v.mu.Lock()
+	if e.fired {
+		v.mu.Unlock()
+		putSleeper(s)
+		return
+	}
+	e.waiters = append(e.waiters, s)
+	v.active--
+	if v.active == 0 {
+		v.advanceLocked()
+	}
+	for !s.woken {
+		v.cond.Wait()
+	}
+	v.mu.Unlock()
+	putSleeper(s)
+}
+
+// Fire releases every waiter, in arrival order, at the current virtual
+// instant. Firing twice is a no-op. The caller must be a runnable
+// registered worker (it does not block).
+//
+// c4h:hotpath
+func (e *Event) Fire() {
+	v := e.v
+	v.mu.Lock()
+	if !e.fired {
+		e.fired = true
+		for _, s := range e.waiters {
+			s.deadline = v.now
+			s.seq = v.seq
+			v.seq++
+			if v.shards != nil {
+				heap.Push(&v.shards[s.seq%uint64(len(v.shards))], s)
+			} else {
+				heap.Push(&v.sleeper, s)
+			}
+		}
+		e.waiters = nil
+	}
+	v.mu.Unlock()
+}
+
 type sleeper struct {
 	deadline time.Time
 	seq      uint64
 	woken    bool
 	index    int
 }
+
+// sleeperPool recycles sleeper records: every Sleep used to allocate
+// one, which made the scheduler itself the simulator's largest source of
+// small objects. A sleeper is owned by exactly one goroutine between
+// getSleeper and putSleeper, so pooling is race-free.
+var sleeperPool = sync.Pool{New: func() any {
+	return &sleeper{}
+}}
+
+// c4h:hotpath
+func getSleeper() *sleeper {
+	s := sleeperPool.Get().(*sleeper)
+	s.woken = false
+	return s
+}
+
+// c4h:hotpath
+func putSleeper(s *sleeper) { sleeperPool.Put(s) }
 
 type sleeperHeap []*sleeper
 

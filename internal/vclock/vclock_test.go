@@ -144,3 +144,109 @@ func TestRealClockMonotone(t *testing.T) {
 	}
 	c.Sleep(-time.Hour) // must not block
 }
+
+// shardedWorkload runs a nontrivial interleaving on the given clock and
+// returns a trace of wake instants, the one artifact every engine must
+// reproduce exactly.
+func shardedWorkload(v *Virtual) []time.Time {
+	var mu sync.Mutex
+	var trace []time.Time
+	v.Run(func() {
+		var wg sync.WaitGroup
+		for i := 1; i <= 7; i++ {
+			wg.Add(1)
+			d := time.Duration(i) * 70 * time.Millisecond
+			v.Go(func() {
+				defer wg.Done()
+				for j := 0; j < 9; j++ {
+					v.Sleep(d)
+					mu.Lock()
+					trace = append(trace, v.Now())
+					mu.Unlock()
+				}
+			})
+		}
+		v.Sleep(5 * time.Second)
+		v.Block(wg.Wait)
+	})
+	return trace
+}
+
+func TestVirtualShardedMatchesDefault(t *testing.T) {
+	want := shardedWorkload(NewVirtual(epoch))
+	for _, shards := range []int{1, 2, 4, 8} {
+		got := shardedWorkload(NewVirtualSharded(epoch, shards))
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d wakes, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("shards=%d wake %d at %v, default engine at %v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestVirtualShardedEqualDeadlinesAllWake(t *testing.T) {
+	v := NewVirtualSharded(epoch, 4)
+	var n atomic.Int32
+	v.Run(func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				v.Sleep(time.Second)
+				n.Add(1)
+			})
+		}
+		v.Sleep(2 * time.Second)
+		v.Block(wg.Wait)
+	})
+	if n.Load() != 8 {
+		t.Fatalf("woke %d of 8 sleepers", n.Load())
+	}
+}
+
+func eventWorkload(t *testing.T, v *Virtual) []time.Duration {
+	t.Helper()
+	waits := make([]time.Duration, 4)
+	v.Run(func() {
+		ev := v.NewEvent()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			d := time.Duration(i+1) * 100 * time.Millisecond
+			v.Go(func() {
+				defer wg.Done()
+				v.Sleep(d) // arrive staggered
+				start := v.Now()
+				ev.Wait()
+				waits[int(d/(100*time.Millisecond))-1] = v.Now().Sub(start)
+			})
+		}
+		v.Sleep(time.Second)
+		ev.Fire()
+		ev.Wait() // fired events do not block
+		v.Block(wg.Wait)
+	})
+	return waits
+}
+
+// TestEventReleasesWaitersAtFireInstant: waiters arriving at t=100..400ms
+// all resume at the fire instant t=1s, so each is charged exactly the
+// virtual time it spent parked — the contract fetch coalescing relies on.
+func TestEventReleasesWaitersAtFireInstant(t *testing.T) {
+	for name, v := range map[string]*Virtual{
+		"default": NewVirtual(epoch),
+		"sharded": NewVirtualSharded(epoch, 4),
+	} {
+		waits := eventWorkload(t, v)
+		for i, w := range waits {
+			want := time.Second - time.Duration(i+1)*100*time.Millisecond
+			if w != want {
+				t.Fatalf("%s engine: waiter %d parked %v, want %v", name, i, w, want)
+			}
+		}
+	}
+}
