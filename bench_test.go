@@ -376,6 +376,50 @@ func BenchmarkAvailability(b *testing.B) {
 	b.ReportMetric(float64(rep.ReplicasRestored), "replicasRestored")
 }
 
+// BenchmarkCityScale measures the city-scale simulator core: a 1,000-node
+// city run twice — ScaleConfig gates on and off — whose virtual metrics
+// must stay bit-identical while the gated build's resident bytes per node
+// drop, plus a 10,000-node gated-only smoke proving the compact core
+// clears 10k homes in one process. The full 100k sweep is manual:
+// `go run ./cmd/c4h-bench -exp cityscale`.
+func BenchmarkCityScale(b *testing.B) {
+	nodes := []int{1_000, 10_000}
+	if testing.Short() {
+		nodes = []int{1_000}
+	}
+	var last *experiments.CityScaleResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCityScale(experiments.CityScaleConfig{
+			Seed:  benchSeed,
+			Nodes: nodes,
+			// Keep the flat baseline arm at 1k: the 10k row is a gated-only
+			// smoke, so CI never builds a flat 10k city.
+			IdentityMax: 1_000,
+			WallPairMax: 1_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatalf("gated city diverged: %s", res.Mismatch)
+		}
+		last = res
+	}
+	r1k := last.Rows[0]
+	b.ReportMetric(1, "identical")
+	b.ReportMetric(float64(r1k.BytesPerNode), "bytes-per-node")
+	b.ReportMetric(float64(r1k.BaselineBytesPerNode), "flatBytes-per-node")
+	b.ReportMetric(r1k.MemRatio(), "memRatio")
+	b.ReportMetric(r1k.Gated.MeanLookupHops, "lookupHops@1k")
+	b.ReportMetric(float64(r1k.Gated.RepairMessages), "repairMsgs@1k")
+	if len(last.Rows) > 1 {
+		b.ReportMetric(last.Rows[1].Gated.MeanLookupHops, "lookupHops@10k")
+	}
+	sp := last.SuperPeer
+	b.ReportMetric(sp.MeanHops, "superPeerHops")
+	b.ReportMetric(float64(sp.MaxHops), "superPeerMaxHops")
+}
+
 // BenchmarkAblationDataCache measures the dom0 object cache's hit path
 // against the remote miss and the local-fetch floor.
 func BenchmarkAblationDataCache(b *testing.B) {

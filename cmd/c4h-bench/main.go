@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale|availability|hotpath] [-seed 2011]
-//	          [-workers N] [-cpuprofile f] [-memprofile f] [-trace f]
+//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale|availability|hotpath|cityscale] [-seed 2011]
+//	          [-workers N] [-nodes 1000,10000,100000] [-regions 8]
+//	          [-cpuprofile f] [-memprofile f] [-trace f]
+//
+// cityscale is excluded from -exp all: its default sweep builds a
+// 100,000-node overlay and is meant to be invoked deliberately, e.g.
+// `c4h-bench -exp cityscale -nodes 10000`.
 //
 // The profiling flags write standard Go profiles of the run for
 // `go tool pprof` / `go tool trace`; see DESIGN.md ("Hot-path
@@ -21,6 +26,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
+	"strconv"
 	"strings"
 
 	"cloud4home/internal/experiments"
@@ -31,6 +37,8 @@ func main() {
 		exp        = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale, availability, hotpath)")
 		seed       = flag.Int64("seed", 2011, "simulation seed")
 		workers    = flag.Int("workers", 1, "host worker goroutines for scale-up sweeps (results identical at any count)")
+		nodes      = flag.String("nodes", "", "cityscale only: comma-separated node counts (default 1000,10000,100000)")
+		regions    = flag.Int("regions", 0, "cityscale only: super-peer regions for the aggregation cell (default 8)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -60,7 +68,7 @@ func main() {
 		defer trace.Stop()
 	}
 
-	err := run(*exp, *seed, *workers)
+	err := run(*exp, *seed, *workers, *nodes, *regions)
 
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
@@ -78,9 +86,32 @@ func main() {
 	}
 }
 
-func run(exp string, seed int64, workers int) error {
+func run(exp string, seed int64, workers int, nodes string, regions int) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
 	ran := false
+
+	// Deliberately not part of "all": the default sweep tops out at a
+	// 100,000-node city.
+	if exp == "cityscale" {
+		cfg := experiments.DefaultCityScale(seed)
+		if nodes != "" {
+			cfg.Nodes = cfg.Nodes[:0]
+			for _, part := range strings.Split(nodes, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || n <= 0 {
+					return fmt.Errorf("bad -nodes element %q", part)
+				}
+				cfg.Nodes = append(cfg.Nodes, n)
+			}
+		}
+		cfg.Regions = regions
+		res, err := experiments.RunCityScale(cfg)
+		if err != nil {
+			return err
+		}
+		printTable(res.Table())
+		return nil
+	}
 
 	if want("fig4") {
 		res, err := experiments.RunFig4(experiments.DefaultFig4(seed))

@@ -161,8 +161,9 @@ func run() error {
 
 // nodeCounters prints the daemon's per-node operation counters, with the
 // compute-plane columns (kernel shards, overlap savings, speculative
-// hedges) and the fault-tolerance columns (fallback retries, repairs)
-// whenever the daemon ran with those features enabled.
+// hedges), the fault-tolerance columns (fallback retries, repairs), and
+// the city-scale columns (per-tier hop split, shared membership arena
+// bytes) whenever the daemon ran with those features enabled.
 func nodeCounters(addr string) error {
 	client, err := daemon.Dial(addr, 5*time.Second)
 	if err != nil {
@@ -184,6 +185,16 @@ func nodeCounters(addr string) error {
 		if n.FetchRetries > 0 || n.ObjectsRepaired > 0 || n.ReplicasRestored > 0 {
 			fmt.Printf(" retries=%d repaired=%d replicasRestored=%d",
 				n.FetchRetries, n.ObjectsRepaired, n.ReplicasRestored)
+		}
+		// Per-tier hop split: kvHops counts every routing hop the node's kv
+		// operations took; superHops the subset that landed on a regional
+		// aggregator, so kvHops-superHops is the home-tier remainder.
+		if n.SuperPeerHops > 0 || n.KVHops > 0 {
+			fmt.Printf(" kvHops=%d superHops=%d homeHops=%d",
+				n.KVHops, n.SuperPeerHops, n.KVHops-n.SuperPeerHops)
+		}
+		if n.ArenaBytes > 0 {
+			fmt.Printf(" arenaBytes=%d", n.ArenaBytes)
 		}
 		fmt.Println()
 	}

@@ -137,6 +137,12 @@ func run(args []string) error {
 					s.ShardsExecuted, s.OverlapSaved.Round(time.Millisecond),
 					s.SpecLaunches, s.SpecWins, s.SpecCancels)
 			}
+			if s.KVHops > 0 || s.SuperPeerHops > 0 {
+				fmt.Printf("  kvHops=%d superHops=%d", s.KVHops, s.SuperPeerHops)
+			}
+			if s.ArenaBytes > 0 {
+				fmt.Printf("  arenaBytes=%d", s.ArenaBytes)
+			}
 			fmt.Println()
 		}
 		return nil

@@ -86,6 +86,10 @@ type Options struct {
 	// plane, sharded event loop); the zero value keeps the previous
 	// behaviour bit-for-bit.
 	Perf core.PerfConfig
+	// Scale gates the city-scale simulator core (compact membership,
+	// calendar-queue dispatch, lazy monitors, super-peer tier); the zero
+	// value keeps the previous behaviour bit-for-bit.
+	Scale core.ScaleConfig
 }
 
 // New builds the paper testbed. All construction runs inside the virtual
@@ -99,13 +103,16 @@ func New(opts Options) (*Testbed, error) {
 		kvOpts = *opts.KV
 	}
 	clock := vclock.NewVirtual(Epoch)
-	if opts.Perf.SimShards > 0 {
+	switch {
+	case opts.Scale.CalendarQueue:
+		clock = vclock.NewVirtualCalendar(Epoch)
+	case opts.Perf.SimShards > 0:
 		clock = vclock.NewVirtualSharded(Epoch, opts.Perf.SimShards)
 	}
 	tb := &Testbed{V: clock, opts: opts}
 	var err error
 	tb.V.Run(func() {
-		tb.Home = core.NewHome(tb.V, core.HomeOptions{Seed: opts.Seed, KV: kvOpts, Perf: opts.Perf})
+		tb.Home = core.NewHome(tb.V, core.HomeOptions{Seed: opts.Seed, KV: kvOpts, Perf: opts.Perf, Scale: opts.Scale})
 		tb.Cloud = cloudsim.New(tb.V, tb.Home.Net())
 		tb.Home.AttachCloud(tb.Cloud)
 		for i := 0; i < opts.Netbooks; i++ {

@@ -78,8 +78,9 @@ type Home struct {
 	fedHits map[string]*Home       // last neighbour that served each name
 	fedMiss map[string]fedMissMark // names no neighbour had, with put marks
 
-	perf PerfConfig // hot-path gates; zero value = paper behaviour
-	memo decodeMemo // BatchedMeta: per-record decode cache
+	perf  PerfConfig  // hot-path gates; zero value = paper behaviour
+	scale ScaleConfig // city-scale gates; zero value = paper behaviour
+	memo  decodeMemo  // BatchedMeta: per-record decode cache
 }
 
 // HomeOptions configures a Home.
@@ -91,6 +92,10 @@ type HomeOptions struct {
 	// Perf gates the hot-path performance work; the zero value keeps the
 	// previous behaviour bit-for-bit.
 	Perf PerfConfig
+	// Scale gates the city-scale simulator core (compact membership,
+	// calendar-queue dispatch, lazy monitors, super-peer tier); the zero
+	// value keeps the previous behaviour bit-for-bit.
+	Scale ScaleConfig
 }
 
 // NewHome builds an empty home cloud on the given clock.
@@ -101,7 +106,15 @@ func NewHome(clock vclock.Clock, opts HomeOptions) *Home {
 	}
 	fabric := netsim.NewResource("home-lan", netsim.LANFabricBps)
 	wire := newLANWire(net, fabric)
-	mesh := overlay.NewMesh(wire)
+	var mesh *overlay.Mesh
+	if opts.Scale.CompactMembership {
+		mesh = overlay.NewMeshCompact(wire)
+	} else {
+		mesh = overlay.NewMesh(wire)
+	}
+	if opts.Scale.SuperPeerRegions > 1 {
+		mesh.EnableSuperPeers(opts.Scale.SuperPeerRegions)
+	}
 	kvOpts := opts.KV
 	kvOpts.RouteMemo = opts.Perf.BatchedMeta
 	return &Home{
@@ -113,11 +126,15 @@ func NewHome(clock vclock.Clock, opts HomeOptions) *Home {
 		fabric: fabric,
 		nodes:  make(map[string]*Node),
 		perf:   opts.Perf,
+		scale:  opts.Scale,
 	}
 }
 
 // Perf returns the home's hot-path gates.
 func (h *Home) Perf() PerfConfig { return h.perf }
+
+// Scale returns the home's city-scale gates.
+func (h *Home) Scale() ScaleConfig { return h.scale }
 
 // Clock returns the home's clock.
 func (h *Home) Clock() vclock.Clock { return h.clock }

@@ -181,6 +181,9 @@ func (h *Home) AddNode(cfg NodeConfig) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	if h.scale.LazyMonitors {
+		mon.SetLazy(true)
+	}
 	n.mon = mon
 
 	h.mu.Lock()
@@ -432,6 +435,15 @@ func wanDownPathFor(n *Node, cloud *cloudsim.Cloud) *netsim.Path {
 // the JSON pass. The kv walk (and its wire charges) is identical either
 // way.
 func (n *Node) resources(addr string) (monitor.Resources, error) {
+	if n.home.scale.LazyMonitors {
+		// On-demand materialisation: the candidate publishes (or memoises,
+		// within its validity window) before we read its record.
+		if peer, ok := n.home.Node(addr); ok {
+			if err := peer.mon.EnsureFresh(); err != nil {
+				return monitor.Resources{}, fmt.Errorf("monitor: refresh %s: %w", addr, err)
+			}
+		}
+	}
 	if !n.home.perf.BatchedMeta {
 		return monitor.Lookup(n.home.kv, n.id, addr)
 	}
@@ -455,7 +467,13 @@ func (n *Node) putMeta(meta ObjectMeta) error {
 		return err
 	}
 	n.clock.Sleep(chimeraIPC)
-	_, err = n.home.kv.Put(n.id, meta.Key(), data, kv.Overwrite)
+	pr, err := n.home.kv.Put(n.id, meta.Key(), data, kv.Overwrite)
+	if pr.Hops > 0 {
+		n.ops.kvHops.Add(int64(pr.Hops))
+	}
+	if pr.SuperHops > 0 {
+		n.ops.superPeerHops.Add(int64(pr.SuperHops))
+	}
 	return err
 }
 
@@ -468,6 +486,12 @@ func (n *Node) getMeta(name string) (ObjectMeta, time.Duration, error) {
 	key := ids.HashString(name)
 	gr, err := n.home.kv.GetRef(n.id, key)
 	lookup := n.clock.Now().Sub(start)
+	if gr.Hops > 0 {
+		n.ops.kvHops.Add(int64(gr.Hops))
+	}
+	if gr.SuperHops > 0 {
+		n.ops.superPeerHops.Add(int64(gr.SuperHops))
+	}
 	if err != nil {
 		if errors.Is(err, kv.ErrNotFound) {
 			return ObjectMeta{}, lookup, fmt.Errorf("%w: %q", ErrObjectNotFound, name)

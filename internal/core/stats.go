@@ -52,6 +52,16 @@ type OpStats struct {
 	// fetch of the same object instead of running their own wire transfer;
 	// zero unless PerfConfig.CoalesceFetch is on.
 	CoalescedFetches int64
+	// KVHops counts every routing hop this node's metadata operations
+	// took; SuperPeerHops the subset that landed on a regional super-peer
+	// (zero unless ScaleConfig.SuperPeerRegions > 1), so KVHops −
+	// SuperPeerHops is the home-tier remainder.
+	KVHops        int64
+	SuperPeerHops int64
+	// ArenaBytes is a snapshot-time gauge of the shared membership
+	// arena's resident bytes (whole-mesh, not per-node); zero unless
+	// ScaleConfig.CompactMembership is on.
+	ArenaBytes int64
 }
 
 // opCounters is the node-internal atomic representation. The counters
@@ -78,6 +88,8 @@ type opCounters struct {
 	asyncPlaceDrops  atomic.Int64
 	federatedProbes  atomic.Int64
 	coalescedFetches atomic.Int64
+	kvHops           atomic.Int64
+	superPeerHops    atomic.Int64
 }
 
 func (c *opCounters) snapshot() OpStats {
@@ -102,8 +114,15 @@ func (c *opCounters) snapshot() OpStats {
 		AsyncPlaceDrops:  c.asyncPlaceDrops.Load(),
 		FederatedProbes:  c.federatedProbes.Load(),
 		CoalescedFetches: c.coalescedFetches.Load(),
+		KVHops:           c.kvHops.Load(),
+		SuperPeerHops:    c.superPeerHops.Load(),
 	}
 }
 
-// OpStats returns the node's cumulative operation counters.
-func (n *Node) OpStats() OpStats { return n.ops.snapshot() }
+// OpStats returns the node's cumulative operation counters, plus the
+// snapshot-time arena gauge.
+func (n *Node) OpStats() OpStats {
+	st := n.ops.snapshot()
+	st.ArenaBytes = n.home.mesh.ArenaBytes()
+	return st
+}

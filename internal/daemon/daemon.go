@@ -212,6 +212,12 @@ type nodeStats struct {
 	FetchRetries     int64 `json:"fetchRetries,omitempty"`
 	ObjectsRepaired  int64 `json:"objectsRepaired,omitempty"`
 	ReplicasRestored int64 `json:"replicasRestored,omitempty"`
+	// City-scale counters: total metadata-routing hops, the super-peer
+	// subset (zero unless ScaleConfig enables the aggregation tier), and
+	// the shared membership arena gauge (zero unless CompactMembership).
+	KVHops        int64 `json:"kvHops,omitempty"`
+	SuperPeerHops int64 `json:"superPeerHops,omitempty"`
+	ArenaBytes    int64 `json:"arenaBytes,omitempty"`
 }
 
 type statsResp struct {
@@ -332,6 +338,9 @@ func (s *Server) dispatch(conn net.Conn, pkt *command.Packet) error {
 				FetchRetries:     ops.FetchRetries,
 				ObjectsRepaired:  ops.ObjectsRepaired,
 				ReplicasRestored: ops.ReplicasRestored,
+				KVHops:           ops.KVHops,
+				SuperPeerHops:    ops.SuperPeerHops,
+				ArenaBytes:       ops.ArenaBytes,
 			})
 		}
 		return s.writeJSON(conn, command.TypeResourceUpdate, out, nil)
@@ -562,6 +571,12 @@ type NodeStats struct {
 	FetchRetries     int64
 	ObjectsRepaired  int64
 	ReplicasRestored int64
+	// City-scale counters; KVHops is the node's total metadata-routing
+	// hops, SuperPeerHops the aggregator-tier subset, ArenaBytes the
+	// shared membership arena gauge (whole-mesh).
+	KVHops        int64
+	SuperPeerHops int64
+	ArenaBytes    int64
 }
 
 // Stats returns per-node operation counters and machine state.
@@ -594,6 +609,9 @@ func (c *Client) Stats() ([]NodeStats, error) {
 			FetchRetries:     n.FetchRetries,
 			ObjectsRepaired:  n.ObjectsRepaired,
 			ReplicasRestored: n.ReplicasRestored,
+			KVHops:           n.KVHops,
+			SuperPeerHops:    n.SuperPeerHops,
+			ArenaBytes:       n.ArenaBytes,
 		}
 	}
 	return out, nil

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCityScaleIdentity runs a scaled-down city sweep with a baseline arm
+// at every size and asserts the tentpole's core property: the
+// result-preserving gates (compact membership, calendar queue, lazy
+// monitors) reproduce the flat core's virtual-time metrics bit for bit.
+func TestCityScaleIdentity(t *testing.T) {
+	sizes := []int{64, 200}
+	if testing.Short() {
+		sizes = []int{64}
+	}
+	res, err := RunCityScale(CityScaleConfig{
+		Seed:        7,
+		Nodes:       sizes,
+		Ops:         300,
+		Objects:     40,
+		ChurnEvents: 3,
+		IdentityMax: 200,
+		WallPairMax: 200,
+		Regions:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatalf("gated core diverged from flat core: %s", res.Mismatch)
+	}
+	var repairTotal int64
+	for _, row := range res.Rows {
+		if row.Baseline == nil {
+			t.Fatalf("n=%d: baseline arm missing", row.Gated.Nodes)
+		}
+		if row.Gated.Fetches == 0 || row.Gated.Stores == 0 {
+			t.Fatalf("n=%d: workload did not execute: %+v", row.Gated.Nodes, row.Gated)
+		}
+		if row.Gated.MeanLookupHops <= 0 {
+			t.Fatalf("n=%d: no lookup hops recorded", row.Gated.Nodes)
+		}
+		if row.Gated.RepairMessages < 0 {
+			t.Fatalf("n=%d: negative repair traffic", row.Gated.Nodes)
+		}
+		repairTotal += row.Gated.RepairMessages
+		if ratio := row.MemRatio(); ratio < 2 {
+			t.Errorf("n=%d: compact membership saved only %.1fx bytes/node (gated %d, flat %d)",
+				row.Gated.Nodes, ratio, row.BytesPerNode, row.BaselineBytesPerNode)
+		}
+		t.Logf("n=%d hops=%.2f fetch=%v msgs=%d repair=%d bytes/node=%d (flat %d, %.1fx) wall=%.2fx",
+			row.Gated.Nodes, row.Gated.MeanLookupHops, row.Gated.FetchMean, row.Gated.Messages,
+			row.Gated.RepairMessages, row.BytesPerNode, row.BaselineBytesPerNode, row.MemRatio(), row.WallRatio())
+	}
+
+	// Some sweep sizes can legitimately see zero repair traffic (the
+	// crashed nodes held no authoritative entries), but the sweep as a
+	// whole must exercise the repair path.
+	if repairTotal <= 0 {
+		t.Errorf("no repair traffic anywhere in the sweep")
+	}
+
+	sp := res.SuperPeer
+	if sp.Regions != 4 || sp.Nodes != sizes[0] {
+		t.Fatalf("super-peer cell ran with wrong shape: %+v", sp)
+	}
+	// home → regional aggregator → key's aggregator → owner is the longest
+	// route the two-level tier permits.
+	if sp.MaxHops > 3 {
+		t.Errorf("super-peer lookup exceeded 3 hops: %+v", sp)
+	}
+	if sp.SuperHops == 0 || sp.HomeHops == 0 {
+		t.Errorf("per-tier hop split degenerate: %+v", sp)
+	}
+	t.Logf("superpeer n=%d r=%d hops=%.2f (max %d) super=%d home=%d",
+		sp.Nodes, sp.Regions, sp.MeanHops, sp.MaxHops, sp.SuperHops, sp.HomeHops)
+}

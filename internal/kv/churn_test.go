@@ -129,7 +129,7 @@ func TestDeleteMissingKeyLeavesHolders(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		owner, _, err := st.locateOwner(nodes[0], key)
+		owner, _, _, err := st.locateOwner(nodes[0], key)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,146 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cloud4home/internal/ids"
+	"cloud4home/internal/overlay"
+)
+
+// logWire records every Send so two store builds can be compared
+// message-for-message.
+type logWire struct {
+	mu  sync.Mutex
+	log [][2]ids.ID
+}
+
+func (w *logWire) Send(from, to ids.ID) {
+	w.mu.Lock()
+	w.log = append(w.log, [2]ids.ID{from, to})
+	w.mu.Unlock()
+}
+
+func (w *logWire) snapshot() [][2]ids.ID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([][2]ids.ID(nil), w.log...)
+}
+
+// TestCompactStoreMatchesFlat drives the same deterministic workload —
+// puts, gets, joins, leaves, crashes — against a flat-mesh store (per-node
+// churn handlers, full-membership attach sweep) and a compact-mesh store
+// (shared arena, global handlers, dirty-set walks) and requires the wire
+// traffic and every operation result to match exactly. This pins the
+// dirty-set and global-handler equivalence argument in kv.go.
+func TestCompactStoreMatchesFlat(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			type build struct {
+				wire  *logWire
+				mesh  *overlay.Mesh
+				store *Store
+				nodes []ids.ID
+			}
+			mk := func(compact bool) *build {
+				b := &build{wire: &logWire{}}
+				if compact {
+					b.mesh = overlay.NewMeshCompact(b.wire)
+				} else {
+					b.mesh = overlay.NewMesh(b.wire)
+				}
+				b.store = New(b.mesh, b.wire, Options{ReplicationFactor: 2, CacheEnabled: true})
+				for i := 0; i < 10; i++ {
+					r, err := b.mesh.Join(fmt.Sprintf("10.9.%d.1:7000", i+1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					b.store.Attach(r.Self().ID)
+					b.nodes = append(b.nodes, r.Self().ID)
+				}
+				return b
+			}
+			flat, comp := mk(false), mk(true)
+
+			alive := append([]ids.ID(nil), flat.nodes...)
+			rng := rand.New(rand.NewSource(seed))
+			nextAddr := 100
+			for step := 0; step < 120; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // put
+					from := alive[rng.Intn(len(alive))]
+					key := ids.HashString(fmt.Sprintf("obj-%d", rng.Intn(12)))
+					data := []byte(fmt.Sprintf("v%d", step))
+					pf, ef := flat.store.Put(from, key, data, Overwrite)
+					pc, ec := comp.store.Put(from, key, data, Overwrite)
+					if (ef == nil) != (ec == nil) || pf != pc {
+						t.Fatalf("step %d: put diverged: flat=%+v/%v compact=%+v/%v", step, pf, ef, pc, ec)
+					}
+				case op < 8: // get
+					from := alive[rng.Intn(len(alive))]
+					key := ids.HashString(fmt.Sprintf("obj-%d", rng.Intn(12)))
+					gf, ef := flat.store.Get(from, key)
+					gc, ec := comp.store.Get(from, key)
+					if (ef == nil) != (ec == nil) {
+						t.Fatalf("step %d: get err diverged: %v vs %v", step, ef, ec)
+					}
+					if ef == nil {
+						if gf.Hops != gc.Hops || gf.FromCache != gc.FromCache ||
+							gf.Value.Version != gc.Value.Version ||
+							!bytes.Equal(gf.Value.Data, gc.Value.Data) {
+							t.Fatalf("step %d: get diverged: flat=%+v compact=%+v", step, gf, gc)
+						}
+					}
+				case op == 8: // join + attach
+					addr := fmt.Sprintf("10.9.200.%d:7000", nextAddr)
+					nextAddr++
+					rf, ef := flat.mesh.Join(addr)
+					rc, ec := comp.mesh.Join(addr)
+					if (ef == nil) != (ec == nil) {
+						t.Fatalf("step %d: join err diverged: %v vs %v", step, ef, ec)
+					}
+					if ef == nil {
+						flat.store.Attach(rf.Self().ID)
+						comp.store.Attach(rc.Self().ID)
+						alive = append(alive, rf.Self().ID)
+					}
+				default: // leave or crash
+					if len(alive) <= 4 {
+						continue
+					}
+					i := rng.Intn(len(alive))
+					id := alive[i]
+					alive = append(alive[:i], alive[i+1:]...)
+					if rng.Intn(2) == 0 {
+						if err := flat.store.Depart(id); err != nil {
+							t.Fatal(err)
+						}
+						if err := comp.store.Depart(id); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						if err := flat.mesh.Fail(id); err != nil {
+							t.Fatal(err)
+						}
+						if err := comp.mesh.Fail(id); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+			lf, lc := flat.wire.snapshot(), comp.wire.snapshot()
+			if len(lf) != len(lc) {
+				t.Fatalf("wire log lengths diverged: flat=%d compact=%d", len(lf), len(lc))
+			}
+			for i := range lf {
+				if lf[i] != lc[i] {
+					t.Fatalf("wire log diverged at message %d: flat=%v compact=%v", i, lf[i], lc[i])
+				}
+			}
+		})
+	}
+}

@@ -107,6 +107,9 @@ type GetResult struct {
 	Value Value
 	// Hops is the number of overlay hops the lookup travelled.
 	Hops int
+	// SuperHops counts the hops that landed on a regional super-peer
+	// (always 0 with the aggregation tier disabled).
+	SuperHops int
 	// FromCache reports whether the result was served from a path cache
 	// (or the local store) rather than the key's owner.
 	FromCache bool
@@ -118,6 +121,8 @@ type PutResult struct {
 	Version int
 	// Hops travelled to reach the owner.
 	Hops int
+	// SuperHops counts the hops that landed on a regional super-peer.
+	SuperHops int
 	// Owner that now holds the primary copy.
 	Owner ids.ID
 }
@@ -151,7 +156,44 @@ type Store struct {
 	routeMu sync.Mutex
 	routes  map[routeKey]routeEntry
 
+	// dirty over-approximates the set of nodes holding authoritative
+	// entries: a node is marked at every site that writes entries and only
+	// unmarked on Detach. Churn handlers (repair, handOver) are no-ops on
+	// nodes without entries, so iterating the dirty set instead of the
+	// full membership produces byte-identical wire traffic while a churn
+	// event costs O(dirty) instead of O(N).
+	dirtyMu sync.Mutex
+	dirty   map[ids.ID]bool
+
+	// globalHandlers records that the compact-mesh OnJoinAll/OnDepartureAll
+	// pair has been registered (once per store). Guarded by mu.
+	globalHandlers bool
+
 	stats Stats
+}
+
+// markDirty records that node may now hold authoritative entries.
+func (s *Store) markDirty(node ids.ID) {
+	s.dirtyMu.Lock()
+	if s.dirty == nil {
+		s.dirty = make(map[ids.ID]bool)
+	}
+	s.dirty[node] = true
+	s.dirtyMu.Unlock()
+}
+
+// dirtySorted snapshots the dirty set in ascending ID order — the same
+// order per-node churn handlers fire in, keeping handler-driven wire
+// traffic identical between the per-node and global registration modes.
+func (s *Store) dirtySorted() []ids.ID {
+	s.dirtyMu.Lock()
+	out := make([]ids.ID, 0, len(s.dirty))
+	for id := range s.dirty {
+		out = append(out, id)
+	}
+	s.dirtyMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // routeKey identifies one memoised route: requests for key starting at
@@ -163,6 +205,7 @@ type routeKey struct{ from, key ids.ID }
 type routeEntry struct {
 	owner ids.ID
 	hops  [][2]ids.ID
+	super int // super-peer hops within the sequence
 }
 
 // dropRoutes forgets every memoised route. Called on any membership
@@ -221,32 +264,70 @@ func (s *Store) Attach(node ids.ID) {
 	if s.coordinator == 0 {
 		s.coordinator = node
 	}
-	others := make([]ids.ID, 0, len(s.nodes))
-	for id := range s.nodes {
-		if id != node {
-			others = append(others, id)
-		}
-	}
 	s.mu.Unlock()
-	// Hand-over order is observable in the wire trace; keep it stable.
-	sort.Slice(others, func(i, j int) bool { return others[i] < others[j] })
 
-	s.mesh.OnDeparture(node, func(overlay.Member) {
-		s.dropRoutes()
-		s.repair(node)
-	})
-	s.mesh.OnJoin(node, func(joined overlay.Member) {
-		s.dropRoutes()
-		s.handOver(node, joined.ID)
-	})
+	if s.mesh.Compact() {
+		s.ensureGlobalHandlers()
+	} else {
+		s.mesh.OnDeparture(node, func(overlay.Member) {
+			s.dropRoutes()
+			s.repair(node)
+		})
+		s.mesh.OnJoin(node, func(joined overlay.Member) {
+			s.dropRoutes()
+			s.handOver(node, joined.ID)
+		})
+	}
 	s.dropRoutes()
 
 	// Nodes attach after joining the mesh, so the join handlers above ran
 	// before this slice existed. Pull the keys this node is now
-	// responsible for from the existing members.
-	for _, other := range others {
-		s.handOver(other, node)
+	// responsible for from the existing members. Only dirty nodes can hold
+	// entries, so the pull visits them alone — hand-over from a clean node
+	// moves nothing and sends nothing, so the skip is unobservable while an
+	// attach costs O(dirty) instead of O(N). Order (ascending ID) matches
+	// the full-membership sweep this replaces.
+	for _, other := range s.dirtySorted() {
+		if other != node {
+			s.handOver(other, node)
+		}
 	}
+}
+
+// ensureGlobalHandlers registers, once, the mesh-wide churn handler pair
+// compact deployments use in place of per-node handlers. Per-node
+// registration runs N handlers per membership event — O(N) even when
+// every one is a no-op; at city scale that dominates churn cost. The
+// global pair walks only the dirty set. The wire traffic is identical:
+// per-node handlers fire in ascending node-ID order and act only at
+// nodes holding entries, which is exactly the sorted dirty walk. Handlers
+// for a node that has left the mesh (per-node registration deletes them;
+// the dirty set does not) no-op either way because repair and handOver
+// first resolve the node's router, which fails once it has departed.
+func (s *Store) ensureGlobalHandlers() {
+	s.mu.Lock()
+	if s.globalHandlers {
+		s.mu.Unlock()
+		return
+	}
+	s.globalHandlers = true
+	s.mu.Unlock()
+	s.mesh.OnDepartureAll(func(departed overlay.Member) {
+		s.dropRoutes()
+		for _, d := range s.dirtySorted() {
+			if d != departed.ID {
+				s.repair(d)
+			}
+		}
+	})
+	s.mesh.OnJoinAll(func(joined overlay.Member) {
+		s.dropRoutes()
+		for _, d := range s.dirtySorted() {
+			if d != joined.ID {
+				s.handOver(d, joined.ID)
+			}
+		}
+	})
 }
 
 // Detach removes a node's slice (after it has left the mesh).
@@ -254,6 +335,9 @@ func (s *Store) Detach(node ids.ID) {
 	s.mu.Lock()
 	delete(s.nodes, node)
 	s.mu.Unlock()
+	s.dirtyMu.Lock()
+	delete(s.dirty, node)
+	s.dirtyMu.Unlock()
 	s.dropRoutes()
 }
 
@@ -269,21 +353,22 @@ func (s *Store) node(id ids.ID) (*nodeStore, error) {
 
 // locateOwner resolves the node responsible for key from the requester's
 // position: the DHT route in the default mode, or one direct exchange
-// with the coordinator in centralized mode.
-func (s *Store) locateOwner(from, key ids.ID) (ids.ID, int, error) {
+// with the coordinator in centralized mode. superHops counts the hops
+// that landed on regional super-peers (0 with the tier disabled).
+func (s *Store) locateOwner(from, key ids.ID) (owner ids.ID, hops, superHops int, err error) {
 	if s.opts.Centralized {
 		s.mu.RLock()
 		coord := s.coordinator
 		_, alive := s.nodes[coord]
 		s.mu.RUnlock()
 		if coord == 0 || !alive {
-			return 0, 0, fmt.Errorf("kv: %w (coordinator down)", ErrNotFound)
+			return 0, 0, 0, fmt.Errorf("kv: %w (coordinator down)", ErrNotFound)
 		}
 		if coord != from {
 			s.wire.Send(from, coord)
-			return coord, 1, nil
+			return coord, 1, 0, nil
 		}
-		return coord, 0, nil
+		return coord, 0, 0, nil
 	}
 	if s.opts.RouteMemo {
 		s.routeMu.Lock()
@@ -295,15 +380,15 @@ func (s *Store) locateOwner(from, key ids.ID) (ids.ID, int, error) {
 			for _, h := range e.hops {
 				s.wire.Send(h[0], h[1])
 			}
-			return e.owner, len(e.hops), nil
+			return e.owner, len(e.hops), e.super, nil
 		}
 	}
 	res, err := s.mesh.Route(from, key)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if s.opts.RouteMemo {
-		e := routeEntry{owner: res.Owner.ID, hops: make([][2]ids.ID, 0, res.Hops)}
+		e := routeEntry{owner: res.Owner.ID, hops: make([][2]ids.ID, 0, res.Hops), super: res.SuperHops}
 		for i := 1; i < len(res.Path); i++ {
 			e.hops = append(e.hops, [2]ids.ID{res.Path[i-1].ID, res.Path[i].ID})
 		}
@@ -314,7 +399,7 @@ func (s *Store) locateOwner(from, key ids.ID) (ids.ID, int, error) {
 		s.routes[routeKey{from, key}] = e
 		s.routeMu.Unlock()
 	}
-	return res.Owner.ID, res.Hops, nil
+	return res.Owner.ID, res.Hops, res.SuperHops, nil
 }
 
 // Put stores data under key, starting the request at node from. The write
@@ -329,7 +414,7 @@ func (s *Store) Put(from, key ids.ID, data []byte, policy WritePolicy) (PutResul
 	s.stats.PutOps++
 	s.stats.mu.Unlock()
 
-	ownerID, hops, err := s.locateOwner(from, key)
+	ownerID, hops, superHops, err := s.locateOwner(from, key)
 	if err != nil {
 		return PutResult{}, fmt.Errorf("kv: put %s: %w", key, err)
 	}
@@ -337,6 +422,7 @@ func (s *Store) Put(from, key ids.ID, data []byte, policy WritePolicy) (PutResul
 	if err != nil {
 		return PutResult{}, err
 	}
+	s.markDirty(ownerID)
 
 	ownerStore.mu.Lock()
 	chain := ownerStore.entries[key]
@@ -370,7 +456,7 @@ func (s *Store) Put(from, key ids.ID, data []byte, policy WritePolicy) (PutResul
 	s.replicate(ownerID, key, newChain)
 	s.refreshCaches(ownerID, key, newChain, holders)
 
-	return PutResult{Version: version, Hops: hops, Owner: ownerID}, nil
+	return PutResult{Version: version, Hops: hops, SuperHops: superHops, Owner: ownerID}, nil
 }
 
 // replicate pushes the full chain to the replica set beyond the owner.
@@ -397,6 +483,7 @@ func (s *Store) replicate(owner, key ids.ID, chain []Value) {
 		rs.mu.Lock()
 		rs.entries[key] = cloneChain(chain)
 		rs.mu.Unlock()
+		s.markDirty(m.ID)
 		targets = append(targets, m.ID)
 	}
 	if len(targets) == 0 {
@@ -430,13 +517,14 @@ func (s *Store) refreshCaches(owner, key ids.ID, chain []Value, holders []ids.ID
 // Get returns the latest version of key, starting at node from. The local
 // store and caches on the routing path can satisfy the lookup early.
 func (s *Store) Get(from, key ids.ID) (GetResult, error) {
-	chain, hops, cached, err := s.getChain(from, key)
+	chain, hops, superHops, cached, err := s.getChain(from, key)
 	if err != nil {
 		return GetResult{}, err
 	}
 	return GetResult{
 		Value:     chain[len(chain)-1].clone(),
 		Hops:      hops,
+		SuperHops: superHops,
 		FromCache: cached,
 	}, nil
 }
@@ -444,7 +532,7 @@ func (s *Store) Get(from, key ids.ID) (GetResult, error) {
 // GetAll returns the full version chain of key (meaningful with the Chain
 // write policy), oldest first.
 func (s *Store) GetAll(from, key ids.ID) ([]Value, int, error) {
-	chain, hops, _, err := s.getChain(from, key)
+	chain, hops, _, _, err := s.getChain(from, key)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -459,13 +547,14 @@ func (s *Store) GetAll(from, key ids.ID) ([]Value, int, error) {
 //
 // c4h:hotpath
 func (s *Store) GetRef(from, key ids.ID) (GetResult, error) {
-	chain, hops, cached, err := s.getChain(from, key)
+	chain, hops, superHops, cached, err := s.getChain(from, key)
 	if err != nil {
 		return GetResult{}, err
 	}
 	return GetResult{
 		Value:     chain[len(chain)-1],
 		Hops:      hops,
+		SuperHops: superHops,
 		FromCache: cached,
 	}, nil
 }
@@ -478,7 +567,7 @@ func (s *Store) Holders(from, key ids.ID) ([]ids.ID, error) {
 	if _, err := s.node(from); err != nil {
 		return nil, err
 	}
-	ownerID, _, err := s.locateOwner(from, key)
+	ownerID, _, _, err := s.locateOwner(from, key)
 	if err != nil {
 		return nil, fmt.Errorf("kv: holders %s: %w", key, err)
 	}
@@ -498,10 +587,10 @@ func (s *Store) Holders(from, key ids.ID) ([]ids.ID, error) {
 	return out, nil
 }
 
-func (s *Store) getChain(from, key ids.ID) (chain []Value, hops int, cached bool, err error) {
+func (s *Store) getChain(from, key ids.ID) (chain []Value, hops, superHops int, cached bool, err error) {
 	fromStore, err := s.node(from)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
 	s.stats.mu.Lock()
 	s.stats.Lookups++
@@ -514,42 +603,47 @@ func (s *Store) getChain(from, key ids.ID) (chain []Value, hops int, cached bool
 			s.stats.CacheHits++
 			s.stats.mu.Unlock()
 		}
-		return c, 0, true, nil
+		return c, 0, 0, true, nil
 	}
 
 	if s.opts.Centralized {
-		ownerID, h, lerr := s.locateOwner(from, key)
+		ownerID, h, sh, lerr := s.locateOwner(from, key)
 		if lerr != nil {
-			return nil, 0, false, fmt.Errorf("kv: get %s: %w", key, lerr)
+			return nil, 0, 0, false, fmt.Errorf("kv: get %s: %w", key, lerr)
 		}
 		ownerStore, nerr := s.node(ownerID)
 		if nerr != nil {
-			return nil, h, false, nerr
+			return nil, h, sh, false, nerr
 		}
 		if c, _, ok := ownerStore.lookup(key); ok {
 			s.populatePathCaches(key, c, []ids.ID{from}, ownerID)
-			return c, h, false, nil
+			return c, h, sh, false, nil
 		}
-		return nil, h, false, fmt.Errorf("kv: get %s: %w", key, ErrNotFound)
+		return nil, h, sh, false, fmt.Errorf("kv: get %s: %w", key, ErrNotFound)
 	}
 
 	r, err := s.mesh.Router(from)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, 0, false, err
 	}
-	// Walk hop-by-hop so intermediate caches can answer.
+	// Walk hop-by-hop so intermediate caches can answer. NextHopFrom is
+	// exactly Router.NextHop with the super-peer tier disabled, and routes
+	// through the regional aggregators when it is enabled.
 	cur := r
 	visited := []ids.ID{from}
 	for {
-		next, forward := cur.NextHop(key)
+		next, forward, super := s.mesh.NextHopFrom(cur, key)
 		if !forward {
 			break
 		}
 		s.wire.Send(cur.Self().ID, next.ID)
 		hops++
+		if super {
+			superHops++
+		}
 		nextStore, nerr := s.node(next.ID)
 		if nerr != nil {
-			return nil, hops, false, nerr
+			return nil, hops, superHops, false, nerr
 		}
 		if c, fromCache, ok := nextStore.lookup(key); ok {
 			if fromCache {
@@ -558,18 +652,18 @@ func (s *Store) getChain(from, key ids.ID) (chain []Value, hops int, cached bool
 				s.stats.mu.Unlock()
 			}
 			s.populatePathCaches(key, c, visited, next.ID)
-			return c, hops, true, nil
+			return c, hops, superHops, true, nil
 		}
 		visited = append(visited, next.ID)
 		nr, rerr := s.mesh.Router(next.ID)
 		if rerr != nil {
-			return nil, hops, false, rerr
+			return nil, hops, superHops, false, rerr
 		}
 		cur = nr
 	}
 
 	// cur is the owner and had no entry.
-	return nil, hops, false, fmt.Errorf("kv: get %s: %w", key, ErrNotFound)
+	return nil, hops, superHops, false, fmt.Errorf("kv: get %s: %w", key, ErrNotFound)
 }
 
 // populatePathCaches caches the chain on the intermediate hops of a
@@ -624,7 +718,7 @@ func (s *Store) Delete(from, key ids.ID) error {
 	if _, err := s.node(from); err != nil {
 		return err
 	}
-	ownerID, _, err := s.locateOwner(from, key)
+	ownerID, _, _, err := s.locateOwner(from, key)
 	if err != nil {
 		return fmt.Errorf("kv: delete %s: %w", key, err)
 	}
@@ -734,6 +828,7 @@ func (s *Store) repair(node ids.ID) {
 			if chainNewer(chain, ms.entries[key]) {
 				ms.entries[key] = cloneChain(chain)
 				ms.mu.Unlock()
+				s.markDirty(m.ID)
 				s.wire.Send(node, m.ID)
 			} else {
 				ms.mu.Unlock()
@@ -790,6 +885,7 @@ func (s *Store) handOver(node, newcomer ids.ID) {
 			nsNew.entries[key] = chain
 		}
 		nsNew.mu.Unlock()
+		s.markDirty(newcomer)
 	}
 }
 
@@ -835,6 +931,7 @@ func (s *Store) Depart(node ids.ID) error {
 				ms.entries[key] = cloneChain(chain)
 			}
 			ms.mu.Unlock()
+			s.markDirty(m.ID)
 		}
 	}
 	if err := s.mesh.Leave(node); err != nil {

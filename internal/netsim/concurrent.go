@@ -222,6 +222,7 @@ func (n *Network) MessageAll(p *Path, k int) time.Duration {
 	if k <= 0 {
 		return 0
 	}
+	n.msgCount.Add(int64(k))
 	rng := n.rng()
 	var max time.Duration
 	for i := 0; i < k; i++ {

@@ -170,6 +170,13 @@ type Network struct {
 	seed  int64
 	lazy  bool
 	ctr   atomic.Uint64
+
+	// Traffic accounting: constant-cost atomic bumps on the charge paths,
+	// read only at experiment quiesce points, so they never perturb the
+	// deterministic schedule.
+	msgCount  atomic.Int64
+	xferCount atomic.Int64
+	xferBytes atomic.Int64
 }
 
 // New returns a network charging time to clock. All jitter derives from
@@ -189,6 +196,13 @@ func (n *Network) EnableLazyRNG() { n.lazy = true }
 
 // Clock returns the clock the network charges time to.
 func (n *Network) Clock() vclock.Clock { return n.clock }
+
+// Traffic returns the cumulative control messages, payload transfers, and
+// payload bytes charged so far. City-scale experiments diff it around a
+// churn window to measure repair traffic.
+func (n *Network) Traffic() (messages, transfers, bytes int64) {
+	return n.msgCount.Load(), n.xferCount.Load(), n.xferBytes.Load()
+}
 
 // rng returns a pooled deterministic source for one operation. Each
 // operation gets its own stream so concurrent goroutines cannot perturb
@@ -221,6 +235,7 @@ func jitter(rng *rand.Rand, j float64) float64 {
 // elapsed duration.
 // c4h:hotpath
 func (n *Network) Message(p *Path) time.Duration {
+	n.msgCount.Add(1)
 	rng := n.rng()
 	d := time.Duration(float64(p.RTT/2) * jitter(rng.Rand, p.Jitter))
 	putRNG(rng)
@@ -255,6 +270,8 @@ func (n *Network) Transfer(p *Path, size int64) time.Duration {
 	if size <= 0 {
 		return n.Message(p)
 	}
+	n.xferCount.Add(1)
+	n.xferBytes.Add(size)
 	prng := n.rng()
 	rng := prng.Rand
 	for _, r := range p.Resources {

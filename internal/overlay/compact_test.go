@@ -1,0 +1,331 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cloud4home/internal/ids"
+)
+
+// recordWire logs every wire message so two meshes can be compared
+// send-for-send.
+type recordWire struct {
+	log [][2]ids.ID
+}
+
+func (w *recordWire) Send(from, to ids.ID) {
+	w.log = append(w.log, [2]ids.ID{from, to})
+}
+
+// buildPair builds one flat and one compact mesh over the same n
+// addresses and returns them with their wires.
+func buildPair(t testing.TB, n int) (*Mesh, *Mesh, *recordWire, *recordWire) {
+	t.Helper()
+	fw, cw := &recordWire{}, &recordWire{}
+	flat, compact := NewMesh(fw), NewMeshCompact(cw)
+	for i := 0; i < n; i++ {
+		addr := fmt.Sprintf("city-%d:9000", i)
+		if _, err := flat.Join(addr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := compact.Join(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return flat, compact, fw, cw
+}
+
+// TestCompactMeshMatchesFlat: every routing answer of a compact mesh —
+// owners, next hops, replica sets, neighbours, full routes, and the
+// exact wire-message log of joins/leaves — is bit-identical to a flat
+// mesh over the same membership.
+func TestCompactMeshMatchesFlat(t *testing.T) {
+	flat, compact, fw, cw := buildPair(t, 48)
+	if len(fw.log) != len(cw.log) {
+		t.Fatalf("join wire traffic: flat %d msgs, compact %d", len(fw.log), len(cw.log))
+	}
+	for i := range fw.log {
+		if fw.log[i] != cw.log[i] {
+			t.Fatalf("join wire msg %d: flat %v, compact %v", i, fw.log[i], cw.log[i])
+		}
+	}
+
+	nodes := flat.Nodes()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		key := ids.ID(rng.Uint64()) & ids.Max()
+		from := nodes[rng.Intn(len(nodes))]
+		fr, _ := flat.Router(from)
+		cr, _ := compact.Router(from)
+
+		if fo, co := fr.Owner(key), cr.Owner(key); fo != co {
+			t.Fatalf("Owner(%s) from %s: flat %v, compact %v", key, from, fo, co)
+		}
+		fn, ff := fr.NextHop(key)
+		cn, cf := cr.NextHop(key)
+		if fn != cn || ff != cf {
+			t.Fatalf("NextHop(%s) from %s: flat (%v,%v), compact (%v,%v)", key, from, fn, ff, cn, cf)
+		}
+		rf := rng.Intn(len(nodes)+2) + 1
+		fs, cs := fr.ReplicaSet(key, rf), cr.ReplicaSet(key, rf)
+		if len(fs) != len(cs) {
+			t.Fatalf("ReplicaSet(%s, %d): flat %d members, compact %d", key, rf, len(fs), len(cs))
+		}
+		for i := range fs {
+			if fs[i] != cs[i] {
+				t.Fatalf("ReplicaSet(%s, %d)[%d]: flat %v, compact %v", key, rf, i, fs[i], cs[i])
+			}
+		}
+		fl, frt, fok := fr.Neighbors()
+		cl, crt, cok := cr.Neighbors()
+		if fl != cl || frt != crt || fok != cok {
+			t.Fatalf("Neighbors of %s differ: flat (%v,%v,%v) compact (%v,%v,%v)", from, fl, frt, fok, cl, crt, cok)
+		}
+
+		fres, err1 := flat.Route(from, key)
+		cres, err2 := compact.Route(from, key)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("route errors: %v / %v", err1, err2)
+		}
+		if fres.Owner != cres.Owner || fres.Hops != cres.Hops || len(fres.Path) != len(cres.Path) {
+			t.Fatalf("Route(%s) from %s: flat %+v, compact %+v", key, from, fres, cres)
+		}
+	}
+}
+
+// TestCompactMeshChurnMatchesFlat drives an identical random join/leave/
+// fail schedule through both meshes and checks membership, owners, and
+// wire logs stay in lockstep throughout.
+func TestCompactMeshChurnMatchesFlat(t *testing.T) {
+	fw, cw := &recordWire{}, &recordWire{}
+	flat, compact := NewMesh(fw), NewMeshCompact(cw)
+	rng := rand.New(rand.NewSource(23))
+	var live []string
+	nextAddr := 0
+	join := func() {
+		addr := fmt.Sprintf("churn-%d:9000", nextAddr)
+		nextAddr++
+		if _, err := flat.Join(addr); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := compact.Join(addr); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, addr)
+	}
+	for i := 0; i < 12; i++ {
+		join()
+	}
+	for step := 0; step < 300; step++ {
+		switch op := rng.Intn(3); {
+		case op == 0 || len(live) <= 4:
+			join()
+		default:
+			i := rng.Intn(len(live))
+			id := ids.HashString(live[i])
+			live = append(live[:i], live[i+1:]...)
+			if op == 1 {
+				if err := flat.Leave(id); err != nil {
+					t.Fatal(err)
+				}
+				if err := compact.Leave(id); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := flat.Fail(id); err != nil {
+					t.Fatal(err)
+				}
+				if err := compact.Fail(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if flat.Len() != compact.Len() || flat.Len() != len(live) {
+			t.Fatalf("step %d: flat %d, compact %d, live %d", step, flat.Len(), compact.Len(), len(live))
+		}
+		key := ids.ID(rng.Uint64()) & ids.Max()
+		from := ids.HashString(live[rng.Intn(len(live))])
+		fr, _ := flat.Router(from)
+		cr, _ := compact.Router(from)
+		if fr.Len() != cr.Len() || fr.Len() != len(live) {
+			t.Fatalf("step %d: router views flat %d, compact %d, live %d", step, fr.Len(), cr.Len(), len(live))
+		}
+		if fo, co := fr.Owner(key), cr.Owner(key); fo != co {
+			t.Fatalf("step %d: Owner(%s) flat %v, compact %v", step, key, fo, co)
+		}
+	}
+	if len(fw.log) != len(cw.log) {
+		t.Fatalf("wire traffic: flat %d msgs, compact %d", len(fw.log), len(cw.log))
+	}
+	for i := range fw.log {
+		if fw.log[i] != cw.log[i] {
+			t.Fatalf("wire msg %d: flat %v, compact %v", i, fw.log[i], cw.log[i])
+		}
+	}
+}
+
+// TestCompactGlobalHandlersFire: OnJoinAll/OnDepartureAll run once per
+// event in both mesh modes.
+func TestCompactGlobalHandlersFire(t *testing.T) {
+	for _, mode := range []string{"flat", "compact"} {
+		var m *Mesh
+		if mode == "flat" {
+			m = NewMesh(FreeWire{})
+		} else {
+			m = NewMeshCompact(FreeWire{})
+		}
+		var joins, departs []ids.ID
+		m.OnJoinAll(func(j Member) { joins = append(joins, j.ID) })
+		m.OnDepartureAll(func(d Member) { departs = append(departs, d.ID) })
+		for i := 0; i < 5; i++ {
+			if _, err := m.Join(fmt.Sprintf("gh-%d:1", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(joins) != 5 {
+			t.Fatalf("%s: %d join events, want 5", mode, len(joins))
+		}
+		if err := m.Leave(joins[1]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Fail(joins[3]); err != nil {
+			t.Fatal(err)
+		}
+		if len(departs) != 2 || departs[0] != joins[1] || departs[1] != joins[3] {
+			t.Fatalf("%s: departure events %v, want [%s %s]", mode, departs, joins[1], joins[3])
+		}
+	}
+}
+
+// TestArenaBytesGrowsAndShrinks: the arena footprint gauge tracks
+// membership.
+func TestArenaBytesGrowsAndShrinks(t *testing.T) {
+	m := NewMeshCompact(FreeWire{})
+	if m.ArenaBytes() != 0 {
+		t.Fatalf("empty arena reports %d bytes", m.ArenaBytes())
+	}
+	var nodes []ids.ID
+	for i := 0; i < 10; i++ {
+		r, err := m.Join(fmt.Sprintf("ab-%d:1", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, r.Self().ID)
+	}
+	full := m.ArenaBytes()
+	if full <= 0 {
+		t.Fatalf("arena bytes = %d after 10 joins", full)
+	}
+	for _, id := range nodes[:5] {
+		if err := m.Leave(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if half := m.ArenaBytes(); half >= full || half <= 0 {
+		t.Fatalf("arena bytes %d after leaves, was %d", half, full)
+	}
+	flat := NewMesh(FreeWire{})
+	if flat.ArenaBytes() != 0 {
+		t.Fatal("flat mesh must report zero arena bytes")
+	}
+}
+
+// TestSuperPeerLookupMatchesFlatOwner is the hierarchical-lookup property
+// test: across random memberships and random fault schedules, with 1, 2,
+// and 4 regional domains, routing from every live node resolves every
+// key to exactly the owner flat routing picks, and spine traffic is
+// attributed to SuperHops.
+func TestSuperPeerLookupMatchesFlatOwner(t *testing.T) {
+	for _, regions := range []int{1, 2, 4} {
+		for seed := int64(0); seed < 4; seed++ {
+			rng := rand.New(rand.NewSource(100*int64(regions) + seed))
+			for _, mode := range []string{"flat", "compact"} {
+				var sp, ref *Mesh
+				if mode == "flat" {
+					sp, ref = NewMesh(FreeWire{}), NewMesh(FreeWire{})
+				} else {
+					sp, ref = NewMeshCompact(FreeWire{}), NewMeshCompact(FreeWire{})
+				}
+				sp.EnableSuperPeers(regions)
+				n := 6 + rng.Intn(10)
+				var live []string
+				for i := 0; i < n; i++ {
+					addr := fmt.Sprintf("sp-%d-%d-%d:9000", regions, seed, i)
+					if _, err := sp.Join(addr); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := ref.Join(addr); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, addr)
+				}
+				// Random fault schedule: a few crashes and departures.
+				for k := 0; k < 1+rng.Intn(3) && len(live) > 3; k++ {
+					i := rng.Intn(len(live))
+					id := ids.HashString(live[i])
+					live = append(live[:i], live[i+1:]...)
+					var err1, err2 error
+					if rng.Intn(2) == 0 {
+						err1, err2 = sp.Fail(id), ref.Fail(id)
+					} else {
+						err1, err2 = sp.Leave(id), ref.Leave(id)
+					}
+					if err1 != nil || err2 != nil {
+						t.Fatal(err1, err2)
+					}
+				}
+				for trial := 0; trial < 60; trial++ {
+					key := ids.ID(rng.Uint64()) & ids.Max()
+					from := ids.HashString(live[rng.Intn(len(live))])
+					fromR, _ := ref.Router(from)
+					wantOwner := fromR.Owner(key)
+					res, err := sp.Route(from, key)
+					if err != nil {
+						t.Fatalf("regions=%d seed=%d %s: route: %v", regions, seed, mode, err)
+					}
+					if res.Owner != wantOwner {
+						t.Fatalf("regions=%d seed=%d %s: key %s owner %v, flat owner %v",
+							regions, seed, mode, key, res.Owner, wantOwner)
+					}
+					if res.Hops > 3 {
+						t.Fatalf("regions=%d: %d hops through the super-peer tier, want <= 3", regions, res.Hops)
+					}
+					if res.SuperHops > res.Hops {
+						t.Fatalf("SuperHops %d > Hops %d", res.SuperHops, res.Hops)
+					}
+					if regions == 1 && res.SuperHops > 1 {
+						t.Fatalf("single region: %d super hops, want <= 1", res.SuperHops)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSuperPeerPromotionAfterFailure: when a region's super-peer dies,
+// the next lowest-addressed member of the domain takes over.
+func TestSuperPeerPromotionAfterFailure(t *testing.T) {
+	m := NewMeshCompact(FreeWire{})
+	m.EnableSuperPeers(2)
+	for i := 0; i < 16; i++ {
+		if _, err := m.Join(fmt.Sprintf("promo-%d:9000", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probe := ids.ID(1) << 20 // a key in region 0
+	sp0, ok := m.SuperPeer(probe)
+	if !ok {
+		t.Fatal("region 0 has no super-peer despite members")
+	}
+	if err := m.Fail(sp0.ID); err != nil {
+		t.Fatal(err)
+	}
+	sp1, ok := m.SuperPeer(probe)
+	if ok && sp1.ID == sp0.ID {
+		t.Fatal("failed super-peer still listed")
+	}
+	if ok && sp1.ID <= sp0.ID {
+		t.Fatalf("promoted super-peer %s not the next lowest address above %s", sp1.ID, sp0.ID)
+	}
+}

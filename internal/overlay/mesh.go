@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cloud4home/internal/ids"
+	"cloud4home/internal/rbtree"
 )
 
 // Wire charges the delivery cost of one small control message between two
@@ -46,13 +47,29 @@ type JoinHandler func(joined Member)
 // a Wire. It implements the dynamic overlay reconfiguration of §III-A —
 // nodes join and leave at runtime, neighbours are notified, and routing
 // proceeds hop-by-hop with per-hop cost.
+//
+// A compact mesh (NewMeshCompact) interns the membership once in a
+// shared Arena instead of replicating it into every router, and its
+// joins/leaves cost O(log N) instead of O(N); higher layers then
+// register OnJoinAll/OnDepartureAll handlers once instead of one handler
+// per node.
 type Mesh struct {
-	wire Wire
+	wire  Wire
+	arena *Arena // non-nil: compact membership mode
 
-	mu          sync.RWMutex
-	nodes       map[ids.ID]*Router
-	onJoin      map[ids.ID]JoinHandler
-	onDeparture map[ids.ID]DepartureHandler
+	mu             sync.RWMutex
+	nodes          map[ids.ID]*Router
+	onJoin         map[ids.ID]JoinHandler
+	onDeparture    map[ids.ID]DepartureHandler
+	onJoinAll      []JoinHandler
+	onDepartureAll []DepartureHandler
+
+	// Super-peer tier: regions > 0 partitions the ID ring into that many
+	// contiguous regional domains; the lowest-addressed live member of
+	// each domain acts as its aggregation super-peer and inter-domain
+	// traffic travels home → super-peer → super-peer → owner.
+	regions     int
+	regionTrees []*rbtree.Tree[Member] // guarded by mu
 }
 
 // sortRouters orders routers by ID so membership iteration (and thus
@@ -61,7 +78,7 @@ func sortRouters(rs []*Router) {
 	sort.Slice(rs, func(i, j int) bool { return rs[i].Self().ID < rs[j].Self().ID })
 }
 
-// NewMesh returns an empty mesh over the given wire.
+// NewMesh returns an empty flat mesh over the given wire.
 func NewMesh(wire Wire) *Mesh {
 	return &Mesh{
 		wire:        wire,
@@ -71,10 +88,32 @@ func NewMesh(wire Wire) *Mesh {
 	}
 }
 
+// NewMeshCompact returns an empty mesh whose membership is interned in a
+// shared arena. Routing answers are bit-identical to a flat mesh; only
+// resident memory and join/leave cost change.
+func NewMeshCompact(wire Wire) *Mesh {
+	m := NewMesh(wire)
+	m.arena = NewArena()
+	return m
+}
+
+// Compact reports whether the mesh interns membership in a shared arena.
+func (m *Mesh) Compact() bool { return m.arena != nil }
+
+// ArenaBytes estimates the resident bytes of the shared membership
+// arena; it is zero for a flat mesh (whose cost lives inside each
+// router instead).
+func (m *Mesh) ArenaBytes() int64 {
+	if m.arena == nil {
+		return 0
+	}
+	return m.arena.Bytes()
+}
+
 // Join adds a node with the given address to the overlay and returns its
-// router. Every node learns of the newcomer (at home-cloud scale the
-// membership view is complete); the newcomer's ring neighbours are
-// notified first, as in the paper's protocol.
+// router. Every node learns of the newcomer (the membership view is
+// complete); the newcomer's ring neighbours are notified first, as in
+// the paper's protocol.
 func (m *Mesh) Join(addr string) (*Router, error) {
 	id := ids.HashString(addr)
 	m.mu.Lock()
@@ -83,22 +122,36 @@ func (m *Mesh) Join(addr string) (*Router, error) {
 		return nil, fmt.Errorf("%w: %s (addr %q)", ErrDuplicateID, id, addr)
 	}
 	self := Member{ID: id, Addr: addr}
-	r := NewRouter(self)
-	existing := make([]*Router, 0, len(m.nodes))
-	for _, n := range m.nodes {
-		existing = append(existing, n)
+	var r *Router
+	var existing []*Router
+	if m.arena != nil {
+		r = newArenaRouter(self, m.arena)
+	} else {
+		r = NewRouter(self)
+		existing = make([]*Router, 0, len(m.nodes))
+		for _, n := range m.nodes {
+			existing = append(existing, n)
+		}
+		sortRouters(existing)
 	}
-	sortRouters(existing)
 	m.nodes[id] = r
 	joinHandlers := make(map[ids.ID]JoinHandler, len(m.onJoin))
 	for k, v := range m.onJoin {
 		joinHandlers[k] = v
 	}
+	joinAll := m.onJoinAll
+	m.regionInsertLocked(self)
 	m.mu.Unlock()
 
-	// The newcomer learns the membership from its bootstrap exchange.
-	for _, n := range existing {
-		r.AddMember(n.Self())
+	if m.arena != nil {
+		// One interned record replaces the flat mode's N AddMember calls;
+		// every router sees the newcomer through the shared tree.
+		m.arena.Insert(self)
+	} else {
+		// The newcomer learns the membership from its bootstrap exchange.
+		for _, n := range existing {
+			r.AddMember(n.Self())
+		}
 	}
 	// "Whenever a node enters ... it sends a message to its right and
 	// left nodes in the logical tree structure"; the remaining members
@@ -112,91 +165,101 @@ func (m *Mesh) Join(addr string) (*Router, error) {
 	for _, n := range existing {
 		n.AddMember(self)
 	}
-	for _, n := range existing {
-		if h := joinHandlers[n.Self().ID]; h != nil {
-			h(self)
+	m.runJoinHandlers(joinHandlers, joinAll, self)
+	return r, nil
+}
+
+// runJoinHandlers fires per-node handlers in node-ID order, then global
+// handlers in registration order.
+func (m *Mesh) runJoinHandlers(perNode map[ids.ID]JoinHandler, all []JoinHandler, joined Member) {
+	keys := make([]ids.ID, 0, len(perNode))
+	for k := range perNode {
+		if k != joined.ID {
+			keys = append(keys, k)
 		}
 	}
-	return r, nil
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		perNode[k](joined)
+	}
+	for _, h := range all {
+		h(joined)
+	}
+}
+
+// runDepartureHandlers mirrors runJoinHandlers for leave/fail.
+func (m *Mesh) runDepartureHandlers(perNode map[ids.ID]DepartureHandler, all []DepartureHandler, departed Member) {
+	keys := make([]ids.ID, 0, len(perNode))
+	for k := range perNode {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		perNode[k](departed)
+	}
+	for _, h := range all {
+		h(departed)
+	}
+}
+
+// remove implements Leave (farewell = true) and Fail (farewell = false).
+func (m *Mesh) remove(id ids.ID, farewell bool) error {
+	m.mu.Lock()
+	r, ok := m.nodes[id]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
+	}
+	delete(m.nodes, id)
+	delete(m.onJoin, id)
+	delete(m.onDeparture, id)
+	var survivors []*Router
+	if m.arena == nil {
+		survivors = make([]*Router, 0, len(m.nodes))
+		for _, n := range m.nodes {
+			survivors = append(survivors, n)
+		}
+		sortRouters(survivors)
+	}
+	handlers := make(map[ids.ID]DepartureHandler, len(m.onDeparture))
+	for k, v := range m.onDeparture {
+		handlers[k] = v
+	}
+	departureAll := m.onDepartureAll
+	departed := r.Self()
+	m.regionRemoveLocked(departed)
+	m.mu.Unlock()
+
+	if farewell {
+		// Neighbours are computed before the membership is updated, so
+		// the departing node still sees the full ring.
+		if left, right, ok := r.Neighbors(); ok {
+			m.wire.Send(id, left.ID)
+			if right.ID != left.ID {
+				m.wire.Send(id, right.ID)
+			}
+		}
+	}
+	if m.arena != nil {
+		m.arena.Remove(id)
+	} else {
+		for _, n := range survivors {
+			n.RemoveMember(id)
+		}
+	}
+	m.runDepartureHandlers(handlers, departureAll, departed)
+	return nil
 }
 
 // Leave removes the node from the overlay gracefully: neighbours are
 // messaged, membership updated everywhere, and departure handlers run so
 // higher layers can redistribute the node's keys.
-func (m *Mesh) Leave(id ids.ID) error {
-	m.mu.Lock()
-	r, ok := m.nodes[id]
-	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
-	}
-	delete(m.nodes, id)
-	delete(m.onJoin, id)
-	delete(m.onDeparture, id)
-	survivors := make([]*Router, 0, len(m.nodes))
-	for _, n := range m.nodes {
-		survivors = append(survivors, n)
-	}
-	sortRouters(survivors)
-	handlers := make(map[ids.ID]DepartureHandler, len(m.onDeparture))
-	for k, v := range m.onDeparture {
-		handlers[k] = v
-	}
-	m.mu.Unlock()
-
-	departed := r.Self()
-	if left, right, ok := r.Neighbors(); ok {
-		m.wire.Send(id, left.ID)
-		if right.ID != left.ID {
-			m.wire.Send(id, right.ID)
-		}
-	}
-	for _, n := range survivors {
-		n.RemoveMember(id)
-	}
-	for _, n := range survivors {
-		if h := handlers[n.Self().ID]; h != nil {
-			h(departed)
-		}
-	}
-	return nil
-}
+func (m *Mesh) Leave(id ids.ID) error { return m.remove(id, true) }
 
 // Fail removes the node abruptly (crash): no farewell messages, but
 // survivors still detect the departure and run their handlers, relying on
 // replicated state rather than a handover from the failed node.
-func (m *Mesh) Fail(id ids.ID) error {
-	m.mu.Lock()
-	r, ok := m.nodes[id]
-	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrUnknownNode, id)
-	}
-	delete(m.nodes, id)
-	delete(m.onJoin, id)
-	delete(m.onDeparture, id)
-	survivors := make([]*Router, 0, len(m.nodes))
-	for _, n := range m.nodes {
-		survivors = append(survivors, n)
-	}
-	sortRouters(survivors)
-	handlers := make(map[ids.ID]DepartureHandler, len(m.onDeparture))
-	for k, v := range m.onDeparture {
-		handlers[k] = v
-	}
-	m.mu.Unlock()
-
-	departed := r.Self()
-	for _, n := range survivors {
-		n.RemoveMember(id)
-	}
-	for _, n := range survivors {
-		if h := handlers[n.Self().ID]; h != nil {
-			h(departed)
-		}
-	}
-	return nil
-}
+func (m *Mesh) Fail(id ids.ID) error { return m.remove(id, false) }
 
 // OnJoin registers a handler run at node whenever another node joins.
 func (m *Mesh) OnJoin(node ids.ID, h JoinHandler) {
@@ -211,6 +274,22 @@ func (m *Mesh) OnDeparture(node ids.ID, h DepartureHandler) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.onDeparture[node] = h
+}
+
+// OnJoinAll registers one handler run once per join, regardless of mesh
+// size. Compact deployments use it instead of per-node handlers so a
+// join costs O(1) handler work rather than O(N).
+func (m *Mesh) OnJoinAll(h JoinHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onJoinAll = append(m.onJoinAll, h)
+}
+
+// OnDepartureAll registers one handler run once per leave/fail.
+func (m *Mesh) OnDepartureAll(h DepartureHandler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onDepartureAll = append(m.onDepartureAll, h)
 }
 
 // Router returns the router of a live node.
@@ -244,6 +323,123 @@ func (m *Mesh) Len() int {
 	return len(m.nodes)
 }
 
+// ---- Super-peer tier ----
+
+// EnableSuperPeers partitions the identifier ring into n contiguous
+// regional domains (MEC-style aggregation domains between the home tier
+// and the cloud). Each domain's super-peer is its lowest-addressed live
+// member — the same deterministic promotion rule the repair layer uses —
+// and Route then travels home → regional super-peer → key-region
+// super-peer → owner instead of prefix-hopping, so hop counts stop
+// growing with population. n <= 1 disables the tier. Enabling is allowed
+// at any time; current members are re-indexed.
+func (m *Mesh) EnableSuperPeers(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 1 {
+		m.regions = 0
+		m.regionTrees = nil
+		return
+	}
+	m.regions = n
+	m.regionTrees = make([]*rbtree.Tree[Member], n)
+	for i := range m.regionTrees {
+		m.regionTrees[i] = rbtree.New[Member]()
+	}
+	for _, r := range m.nodes {
+		self := r.Self()
+		m.regionTrees[m.regionOf(self.ID)].Insert(self.ID, self)
+	}
+}
+
+// SuperPeerRegions returns the configured region count (0 = tier off).
+func (m *Mesh) SuperPeerRegions() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.regions
+}
+
+// regionOf maps an identifier to its regional domain. Caller holds mu
+// (any mode) and m.regions > 0.
+func (m *Mesh) regionOf(id ids.ID) int {
+	span := (uint64(1)<<ids.Bits + uint64(m.regions) - 1) / uint64(m.regions)
+	return int(uint64(id) / span)
+}
+
+func (m *Mesh) regionInsertLocked(mem Member) {
+	if m.regions > 0 {
+		m.regionTrees[m.regionOf(mem.ID)].Insert(mem.ID, mem)
+	}
+}
+
+func (m *Mesh) regionRemoveLocked(mem Member) {
+	if m.regions > 0 {
+		m.regionTrees[m.regionOf(mem.ID)].Delete(mem.ID)
+	}
+}
+
+// superPeerLocked returns region's super-peer: its lowest-addressed live
+// member. Caller holds mu and m.regions > 0.
+func (m *Mesh) superPeerLocked(region int) (Member, bool) {
+	_, mem, ok := m.regionTrees[region].Min()
+	return mem, ok
+}
+
+// SuperPeer returns the super-peer of id's regional domain, if the tier
+// is enabled and the domain has members.
+func (m *Mesh) SuperPeer(id ids.ID) (Member, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.regions <= 0 {
+		return Member{}, false
+	}
+	return m.superPeerLocked(m.regionOf(id))
+}
+
+// NextHopFrom performs one routing step from cur toward key's owner,
+// honouring the super-peer tier when enabled: super reports whether the
+// chosen next hop is an aggregation (super-peer) hop rather than a
+// home-tier hop. With the tier disabled it is exactly cur.NextHop.
+//
+// c4h:hotpath
+func (m *Mesh) NextHopFrom(cur *Router, key ids.ID) (next Member, forward, super bool) {
+	owner := cur.Owner(key)
+	self := cur.Self()
+	if owner.ID == self.ID {
+		return self, false, false
+	}
+	m.mu.RLock()
+	regions := m.regions
+	var spKey, spCur Member
+	var okKey, okCur bool
+	if regions > 0 {
+		spKey, okKey = m.superPeerLocked(m.regionOf(key))
+		spCur, okCur = m.superPeerLocked(m.regionOf(self.ID))
+	}
+	m.mu.RUnlock()
+	if regions <= 0 {
+		n, fwd := cur.NextHop(key)
+		return n, fwd, false
+	}
+	switch {
+	case !okKey || spKey.ID == self.ID:
+		// We aggregate the key's region (or it is empty): deliver to the
+		// owner directly from the shared membership view.
+		return owner, true, false
+	case okCur && spCur.ID == self.ID:
+		// Spine hop between regional aggregators.
+		return spKey, true, true
+	default:
+		// Uplink from a home to its regional aggregator; if our own
+		// region somehow lost all members (cannot happen while we are
+		// live), fall through to the key-region aggregator.
+		if okCur {
+			return spCur, true, true
+		}
+		return spKey, true, true
+	}
+}
+
 // RouteResult describes one completed routing operation.
 type RouteResult struct {
 	// Owner is the node responsible for the key.
@@ -251,6 +447,9 @@ type RouteResult struct {
 	// Hops is the number of overlay hops taken (0 when the origin owns
 	// the key).
 	Hops int
+	// SuperHops counts the hops whose destination was a regional
+	// super-peer (always 0 with the tier disabled).
+	SuperHops int
 	// Path lists every node visited, origin first, owner last.
 	Path []Member
 }
@@ -271,13 +470,16 @@ func (m *Mesh) Route(from ids.ID, key ids.ID) (RouteResult, error) {
 	}
 	res := RouteResult{Path: []Member{cur.Self()}}
 	for attempt := 0; attempt <= 2*n+4; attempt++ {
-		next, forward := cur.NextHop(key)
+		next, forward, super := m.NextHopFrom(cur, key)
 		if !forward {
 			res.Owner = cur.Self()
 			return res, nil
 		}
 		m.wire.Send(cur.Self().ID, next.ID)
 		res.Hops++
+		if super {
+			res.SuperHops++
+		}
 		res.Path = append(res.Path, next)
 		m.mu.RLock()
 		nr, live := m.nodes[next.ID]
@@ -287,6 +489,9 @@ func (m *Mesh) Route(from ids.ID, key ids.ID) (RouteResult, error) {
 			// retry from the same position.
 			cur.RemoveMember(next.ID)
 			res.Hops--
+			if super {
+				res.SuperHops--
+			}
 			res.Path = res.Path[:len(res.Path)-1]
 			continue
 		}

@@ -10,11 +10,17 @@
 // (paper Fig 2). At home-cloud scale (a handful of devices) the tree holds
 // the full membership; routing still steps hop-by-hop through the prefix
 // table so lookup costs behave like the real protocol's.
+//
+// Routers come in two storage modes. A flat router (NewRouter) owns a
+// private membership tree and a materialised prefix table — the paper
+// shape. A compact router (NewMeshCompact) holds only its identity and a
+// pointer to the mesh's shared Arena, recomputing owner/slot/replica
+// answers from the shared tree on demand; the answers are bit-identical
+// (see arena.go) while per-router memory drops from O(N) to O(1).
 package overlay
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"cloud4home/internal/ids"
@@ -29,21 +35,42 @@ type Member struct {
 	Addr string
 }
 
+// tableSlot is one prefix-table entry, held by value so installing a
+// route never boxes a Member onto the heap.
+type tableSlot struct {
+	m  Member
+	ok bool
+}
+
 // Router is the per-node routing state machine. It is pure: it neither
 // sends messages nor sleeps; Mesh (or a real transport) drives it.
 type Router struct {
-	self Member
+	self  Member
+	arena *Arena // compact mode: shared membership; flat is nil
 
-	mu      sync.RWMutex
-	members *rbtree.Tree[Member]          // logical tree view incl. self
-	table   [ids.Digits][ids.Base]*Member // prefix routing table
+	mu   sync.RWMutex
+	flat *flatState // flat mode: private membership copy; arena is nil
 }
 
-// NewRouter returns a router for the given node, initially alone.
+// flatState is the paper-shape per-router storage: a private red-black
+// copy of the full membership plus a materialised prefix table. Compact
+// routers omit it entirely, so a router costs O(1) resident bytes.
+type flatState struct {
+	members *rbtree.Tree[Member]            // logical tree view incl. self
+	table   [ids.Digits][ids.Base]tableSlot // prefix routing table
+}
+
+// NewRouter returns a flat router for the given node, initially alone.
 func NewRouter(self Member) *Router {
-	r := &Router{self: self, members: rbtree.New[Member]()}
-	r.members.Insert(self.ID, self)
+	r := &Router{self: self, flat: &flatState{members: rbtree.New[Member]()}}
+	r.flat.members.Insert(self.ID, self)
 	return r
+}
+
+// newArenaRouter returns a compact router backed by the shared arena.
+// The caller (Mesh.Join) interns self into the arena.
+func newArenaRouter(self Member, a *Arena) *Router {
+	return &Router{self: self, arena: a}
 }
 
 // Self returns this node's membership record.
@@ -54,78 +81,122 @@ func (r *Router) AddMember(m Member) {
 	if m.ID == r.self.ID {
 		return
 	}
+	if r.arena != nil {
+		r.arena.Insert(m)
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.members.Insert(m.ID, m)
+	r.flat.members.Insert(m.ID, m)
 	r.installRoute(m)
 }
 
-// RemoveMember forgets a peer (it left or failed) and rebuilds the
-// affected routing entries.
+// RemoveMember forgets a peer (it left or failed) and refills the one
+// routing slot it can have occupied. A member with common-prefix length
+// l and digit d relative to self is only ever installed in slot (l, d),
+// so departure invalidates at most that slot; it is refilled with the
+// Closer-minimum of the slot's ID range in O(log N) instead of the old
+// full-table rebuild over every member.
 func (r *Router) RemoveMember(id ids.ID) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if !r.members.Delete(id) {
+	if r.arena != nil {
+		r.arena.Remove(id)
 		return
 	}
-	// Drop every table slot pointing at the departed node, then refill
-	// from the remaining membership.
-	for i := range r.table {
-		for j := range r.table[i] {
-			if r.table[i][j] != nil && r.table[i][j].ID == id {
-				r.table[i][j] = nil
-			}
-		}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.flat.members.Delete(id) {
+		return
 	}
-	r.members.Ascend(func(_ ids.ID, m Member) bool {
-		if m.ID != r.self.ID {
-			r.installRoute(m)
-		}
-		return true
-	})
+	l := ids.CommonPrefixLen(r.self.ID, id)
+	if l == ids.Digits {
+		return // removed self; no table slot involved
+	}
+	d := id.Digit(l)
+	if !r.flat.table[l][d].ok || r.flat.table[l][d].m.ID != id {
+		return
+	}
+	lo, hi := classRange(r.self.ID, l, d)
+	m, ok := closestInRange(r.flat.members, lo, hi, r.self.ID)
+	r.flat.table[l][d] = tableSlot{m: m, ok: ok}
 }
 
 // installRoute places m into the prefix routing table. Caller holds mu.
+//
+// c4h:hotpath
 func (r *Router) installRoute(m Member) {
 	l := ids.CommonPrefixLen(r.self.ID, m.ID)
 	if l == ids.Digits {
 		return // identical ID; cannot happen for distinct nodes
 	}
 	d := m.ID.Digit(l)
-	cur := r.table[l][d]
+	cur := r.flat.table[l][d]
 	// Prefer the entry numerically closest to our own ID in that slot,
 	// mirroring Pastry's proximity heuristic deterministically.
-	if cur == nil || ids.Closer(r.self.ID, m.ID, cur.ID) {
-		mm := m
-		r.table[l][d] = &mm
+	if !cur.ok || ids.Closer(r.self.ID, m.ID, cur.m.ID) {
+		r.flat.table[l][d] = tableSlot{m: m, ok: true}
 	}
+}
+
+// slot returns prefix-table entry (l, d). Flat routers read the
+// materialised table; compact routers recompute the slot's
+// Closer-minimum from the shared tree, which equals the flat table's
+// maintained invariant.
+//
+// c4h:hotpath
+func (r *Router) slot(l, d int) (Member, bool) {
+	if r.arena != nil {
+		lo, hi := classRange(r.self.ID, l, d)
+		r.arena.mu.RLock()
+		defer r.arena.mu.RUnlock()
+		return closestInRange(r.arena.members, lo, hi, r.self.ID)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := r.flat.table[l][d]
+	return s.m, s.ok
 }
 
 // Members returns a snapshot of the membership (including self) in ring
 // order.
 func (r *Router) Members() []Member {
+	return r.AppendMembers(make([]Member, 0, r.Len()))
+}
+
+// AppendMembers appends the membership snapshot to dst and returns it,
+// letting hot callers reuse one buffer across snapshots instead of
+// allocating per call.
+func (r *Router) AppendMembers(dst []Member) []Member {
+	if r.arena != nil {
+		r.arena.mu.RLock()
+		defer r.arena.mu.RUnlock()
+		return appendMembers(dst, r.arena.members)
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]Member, 0, r.members.Len())
-	r.members.Ascend(func(_ ids.ID, m Member) bool {
-		out = append(out, m)
-		return true
-	})
-	return out
+	return appendMembers(dst, r.flat.members)
 }
 
 // Len returns the number of known members including self.
 func (r *Router) Len() int {
+	if r.arena != nil {
+		return r.arena.Len()
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.members.Len()
+	return r.flat.members.Len()
 }
 
 // Knows reports whether the router has a record for id.
 func (r *Router) Knows(id ids.ID) bool {
+	if r.arena != nil {
+		r.arena.mu.RLock()
+		defer r.arena.mu.RUnlock()
+		_, ok := r.arena.members.Get(id)
+		return ok
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.members.Get(id)
+	_, ok := r.flat.members.Get(id)
 	return ok
 }
 
@@ -133,33 +204,50 @@ func (r *Router) Knows(id ids.ID) bool {
 // tree: the nodes notified on join and departure (§III-A). With fewer
 // than two peers, both neighbours may be the same node or absent.
 func (r *Router) Neighbors() (left, right Member, ok bool) {
+	if r.arena != nil {
+		r.arena.mu.RLock()
+		defer r.arena.mu.RUnlock()
+		return treeNeighbors(r.arena.members, r.self.ID)
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	if r.members.Len() < 2 {
+	return treeNeighbors(r.flat.members, r.self.ID)
+}
+
+func treeNeighbors(t *rbtree.Tree[Member], self ids.ID) (left, right Member, ok bool) {
+	if t.Len() < 2 {
 		return Member{}, Member{}, false
 	}
-	_, l, _ := r.members.Predecessor(r.self.ID)
-	_, rt, _ := r.members.Successor(r.self.ID)
+	_, l, _ := t.Predecessor(self)
+	_, rt, _ := t.Successor(self)
 	return l, rt, true
 }
 
 // Owner returns the member whose ID is numerically closest to key under
 // the ring metric — the node responsible for the key ("the object
 // information is routed to a node with an ID closest to the hash value").
+//
+// c4h:hotpath
 func (r *Router) Owner(key ids.ID) Member {
+	if r.arena != nil {
+		r.arena.mu.RLock()
+		defer r.arena.mu.RUnlock()
+		if m, ok := closestToKey(r.arena.members, key); ok {
+			return m
+		}
+		return r.self
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	best := r.self
-	r.members.Ascend(func(_ ids.ID, m Member) bool {
-		if ids.Closer(key, m.ID, best.ID) {
-			best = m
-		}
-		return true
-	})
-	return best
+	if m, ok := closestToKey(r.flat.members, key); ok {
+		return m
+	}
+	return r.self
 }
 
 // IsOwner reports whether this node is responsible for key.
+//
+// c4h:hotpath
 func (r *Router) IsOwner(key ids.ID) bool {
 	return r.Owner(key).ID == r.self.ID
 }
@@ -167,51 +255,42 @@ func (r *Router) IsOwner(key ids.ID) bool {
 // NextHop performs one prefix-routing step toward key. It returns
 // (self, false) when this node is the key's owner, otherwise the next
 // node to forward to and true.
+//
+// c4h:hotpath
 func (r *Router) NextHop(key ids.ID) (Member, bool) {
-	if r.IsOwner(key) {
+	owner := r.Owner(key)
+	if owner.ID == r.self.ID {
 		return r.self, false
 	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	l := ids.CommonPrefixLen(key, r.self.ID)
 	if l < ids.Digits {
-		if m := r.table[l][key.Digit(l)]; m != nil {
-			return *m, true
+		if m, ok := r.slot(l, key.Digit(l)); ok {
+			return m, true
 		}
 	}
 	// No prefix match: fall back to the member strictly closest to the
-	// key (always exists since we are not the owner).
-	best := r.self
-	r.members.Ascend(func(_ ids.ID, m Member) bool {
-		if ids.Closer(key, m.ID, best.ID) {
-			best = m
-		}
-		return true
-	})
-	if best.ID == r.self.ID {
-		return r.self, false
-	}
-	return best, true
+	// key — the owner, which is not us here.
+	return owner, true
 }
 
 // ReplicaSet returns the n distinct members closest to key in ring-metric
 // order (the owner first). Used by the key-value store's replication and
 // by departure-time key redistribution.
 func (r *Router) ReplicaSet(key ids.ID, n int) []Member {
+	if r.arena != nil {
+		r.arena.mu.RLock()
+		defer r.arena.mu.RUnlock()
+		if n > r.arena.members.Len() {
+			n = r.arena.members.Len()
+		}
+		return appendReplicaSet(make([]Member, 0, n), r.arena.members, key, n)
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	all := make([]Member, 0, r.members.Len())
-	r.members.Ascend(func(_ ids.ID, m Member) bool {
-		all = append(all, m)
-		return true
-	})
-	sort.Slice(all, func(i, j int) bool {
-		return ids.Closer(key, all[i].ID, all[j].ID)
-	})
-	if n > len(all) {
-		n = len(all)
+	if n > r.flat.members.Len() {
+		n = r.flat.members.Len()
 	}
-	return all[:n]
+	return appendReplicaSet(make([]Member, 0, n), r.flat.members, key, n)
 }
 
 // String renders a short diagnostic form.

@@ -156,6 +156,54 @@ func (t *Tree[V]) Predecessor(key ids.ID) (ids.ID, V, bool) {
 	return pred.key, pred.value, true
 }
 
+// Ceiling returns the entry with the smallest key greater than or equal
+// to key, without wrapping: if every key is smaller than key, ok is
+// false. Range queries (the overlay's prefix-slot refill) use it to find
+// the first member inside a numeric ID interval.
+func (t *Tree[V]) Ceiling(key ids.ID) (ids.ID, V, bool) {
+	var best *node[V]
+	cur := t.root
+	for cur != nil {
+		switch {
+		case cur.key < key:
+			cur = cur.right
+		case cur.key > key:
+			best = cur
+			cur = cur.left
+		default:
+			return cur.key, cur.value, true
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.value, true
+}
+
+// Floor returns the entry with the largest key less than or equal to
+// key, without wrapping: if every key is greater than key, ok is false.
+func (t *Tree[V]) Floor(key ids.ID) (ids.ID, V, bool) {
+	var best *node[V]
+	cur := t.root
+	for cur != nil {
+		switch {
+		case cur.key > key:
+			cur = cur.left
+		case cur.key < key:
+			best = cur
+			cur = cur.right
+		default:
+			return cur.key, cur.value, true
+		}
+	}
+	if best == nil {
+		var zero V
+		return 0, zero, false
+	}
+	return best.key, best.value, true
+}
+
 // Ascend calls fn for every entry in key order until fn returns false.
 func (t *Tree[V]) Ascend(fn func(key ids.ID, value V) bool) {
 	n := t.root

@@ -270,6 +270,114 @@ func Generate(cfg Config) (*Trace, error) {
 	return tr, nil
 }
 
+// PopulationConfig parameterises a city-scale workload: many home nodes
+// sharing one metadata overlay, a subset of them actively issuing
+// store/fetch operations against a common object catalogue. Generation is
+// fully deterministic in the seed and independent of the home count's
+// effect on routing, so the same population can drive gated and baseline
+// builds of the same city.
+type PopulationConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Homes is the number of home nodes in the city.
+	Homes int
+	// Objects is the shared catalogue size.
+	Objects int
+	// Ops is the total operation count.
+	Ops int
+	// StoreFraction is the share of store operations (default 0.4 — city
+	// traffic is read-heavier than one home's).
+	StoreFraction float64
+	// ActiveFraction is the share of homes that issue operations
+	// (default 1). Inactive homes only route and hold replicas.
+	ActiveFraction float64
+	// ZipfS, when > 1, skews object popularity; 0 means uniform.
+	ZipfS float64
+}
+
+// PopulationOp is one city-scale operation.
+type PopulationOp struct {
+	// Home is the issuing home index (0 ≤ Home < Homes, restricted to the
+	// active subset).
+	Home int
+	// Kind is store or fetch.
+	Kind OpKind
+	// Object indexes the shared catalogue.
+	Object int
+}
+
+// DefaultPopulation returns a city workload sized for homes nodes.
+func DefaultPopulation(seed int64, homes int) PopulationConfig {
+	return PopulationConfig{
+		Seed:          seed,
+		Homes:         homes,
+		Objects:       256,
+		Ops:           4096,
+		StoreFraction: 0.4,
+	}
+}
+
+// GeneratePopulation builds a deterministic city-scale workload. The
+// first reference to an object is always a store, so fetches never miss.
+func GeneratePopulation(cfg PopulationConfig) ([]PopulationOp, error) {
+	if cfg.Homes <= 0 {
+		return nil, fmt.Errorf("trace: homes must be positive, got %d", cfg.Homes)
+	}
+	if cfg.Objects <= 0 {
+		return nil, fmt.Errorf("trace: objects must be positive, got %d", cfg.Objects)
+	}
+	if cfg.Ops < 0 {
+		return nil, fmt.Errorf("trace: negative op count %d", cfg.Ops)
+	}
+	if cfg.StoreFraction < 0 || cfg.StoreFraction > 1 {
+		return nil, fmt.Errorf("trace: store fraction %f out of [0,1]", cfg.StoreFraction)
+	}
+	if cfg.StoreFraction == 0 {
+		cfg.StoreFraction = 0.4
+	}
+	if cfg.ActiveFraction < 0 || cfg.ActiveFraction > 1 {
+		return nil, fmt.Errorf("trace: active fraction %f out of [0,1]", cfg.ActiveFraction)
+	}
+	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("trace: ZipfS must be > 1 (or 0 for uniform), got %f", cfg.ZipfS)
+	}
+	active := cfg.Homes
+	if cfg.ActiveFraction > 0 {
+		if a := int(float64(cfg.Homes) * cfg.ActiveFraction); a >= 1 {
+			active = a
+		} else {
+			active = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.ZipfS > 1 && cfg.Objects > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Objects-1))
+	}
+	pickObject := func() int {
+		if zipf != nil {
+			return int(zipf.Uint64())
+		}
+		return rng.Intn(cfg.Objects)
+	}
+	stored := make([]bool, cfg.Objects)
+	ops := make([]PopulationOp, 0, cfg.Ops)
+	for len(ops) < cfg.Ops {
+		obj := pickObject()
+		kind := OpFetch
+		if !stored[obj] || rng.Float64() < cfg.StoreFraction {
+			kind = OpStore
+			stored[obj] = true
+		}
+		ops = append(ops, PopulationOp{
+			Home:   rng.Intn(active),
+			Kind:   kind,
+			Object: obj,
+		})
+	}
+	return ops, nil
+}
+
 // Mix reports the realised store fraction.
 func (t *Trace) Mix() float64 {
 	if len(t.Accesses) == 0 {

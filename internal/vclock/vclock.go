@@ -9,22 +9,27 @@
 // when every registered worker is blocked in Sleep, virtual time jumps to
 // the earliest pending deadline and the corresponding sleepers wake.
 //
-// Two scheduler engines share that contract:
+// Three scheduler engines share that contract:
 //
 //   - the default engine keeps one global deadline heap and wakes
 //     sleepers through a condition-variable broadcast;
 //   - the sharded engine (NewVirtualSharded, enabled by
 //     core.PerfConfig.SimShards) spreads sleepers round-robin over
-//     per-shard heaps merged deterministically at each advance.
+//     per-shard heaps merged deterministically at each advance;
+//   - the calendar engine (NewVirtualCalendar, enabled by
+//     core.ScaleConfig.CalendarQueue) keeps sleepers in a calendar queue
+//     — deadline-bucketed, amortised O(1) per event — and wakes each
+//     sleeper through its own one-slot channel instead of broadcasting,
+//     so an advance costs O(1) instead of O(parked workers).
 //
-// Both engines wake exactly one sleeper per advance in (deadline, seq)
-// order, so they produce bit-identical schedules; the sharded engine just
-// keeps every heap 1/shards the size, so each push and pop touches a
-// fraction of the comparisons the global heap would.
+// All engines wake exactly one sleeper per advance in (deadline, seq)
+// order, so they produce bit-identical schedules; only the host-side cost
+// per event differs.
 package vclock
 
 import (
 	"container/heap"
+	"sort"
 	"sync"
 	"time"
 )
@@ -55,13 +60,15 @@ func (Real) Sleep(d time.Duration) {
 
 // Virtual is a deterministic discrete-event clock.
 type Virtual struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	now     time.Time
-	active  int           // registered workers currently runnable
-	sleeper sleeperHeap   // default engine: one global heap
-	shards  []sleeperHeap // sharded engine when non-nil
-	seq     uint64        // tie-break so equal deadlines wake FIFO
+	mu       sync.Mutex
+	cond     *sync.Cond
+	now      time.Time
+	active   int            // registered workers currently runnable
+	sleeper  sleeperHeap    // default engine: one global heap
+	shards   []sleeperHeap  // sharded engine when non-nil
+	cal      *calendarQueue // calendar engine when non-nil
+	targeted bool           // wake via per-sleeper channel, not broadcast
+	seq      uint64         // tie-break so equal deadlines wake FIFO
 }
 
 var _ Clock = (*Virtual)(nil)
@@ -89,6 +96,19 @@ func NewVirtualSharded(epoch time.Time, shards int) *Virtual {
 	return v
 }
 
+// NewVirtualCalendar returns a virtual clock backed by a calendar queue
+// (deadline-bucketed ring, amortised O(1) insert/pop) with targeted
+// single-sleeper wakeups: each advance hands the token to exactly the
+// woken sleeper's channel instead of broadcasting to every parked
+// worker. Schedules are bit-identical to NewVirtual; at city scale
+// (10⁵–10⁶ queued events) advances stop costing O(parked workers).
+func NewVirtualCalendar(epoch time.Time) *Virtual {
+	v := NewVirtual(epoch)
+	v.cal = newCalendarQueue(epoch)
+	v.targeted = true
+	return v
+}
+
 // Now implements Clock.
 func (v *Virtual) Now() time.Time {
 	v.mu.Lock()
@@ -109,10 +129,14 @@ func (v *Virtual) Add(n int) {
 // sleeps, time advances.
 func (v *Virtual) Done() {
 	v.mu.Lock()
-	defer v.mu.Unlock()
 	v.active--
+	var wake *sleeper
 	if v.active == 0 {
-		v.advanceLocked()
+		wake = v.advanceLocked()
+	}
+	v.mu.Unlock()
+	if wake != nil {
+		wake.signal()
 	}
 }
 
@@ -144,6 +168,21 @@ func (v *Virtual) Block(fn func()) {
 	fn()
 }
 
+// enqueueLocked files a sleeper (deadline and seq already assigned) into
+// whichever queue engine this clock runs. Caller holds v.mu.
+//
+// c4h:hotpath
+func (v *Virtual) enqueueLocked(s *sleeper) {
+	switch {
+	case v.cal != nil:
+		v.cal.insert(s)
+	case v.shards != nil:
+		heap.Push(&v.shards[s.seq%uint64(len(v.shards))], s)
+	default:
+		heap.Push(&v.sleeper, s)
+	}
+}
+
 // Sleep implements Clock. The caller must be a registered worker.
 //
 // c4h:hotpath
@@ -156,14 +195,24 @@ func (v *Virtual) Sleep(d time.Duration) {
 	s.deadline = v.now.Add(d)
 	s.seq = v.seq
 	v.seq++
-	if v.shards != nil {
-		heap.Push(&v.shards[s.seq%uint64(len(v.shards))], s)
-	} else {
-		heap.Push(&v.sleeper, s)
-	}
+	v.enqueueLocked(s)
 	v.active--
+	var wake *sleeper
 	if v.active == 0 {
-		v.advanceLocked()
+		wake = v.advanceLocked()
+	}
+	if v.targeted {
+		v.mu.Unlock()
+		// Hand the token over outside the lock (chanhold discipline);
+		// if the advance woke ourselves, skip the channel round-trip.
+		if wake != nil && wake != s {
+			wake.signal()
+		}
+		if wake != s {
+			s.wait()
+		}
+		putSleeper(s)
+		return
 	}
 	for !s.woken {
 		v.cond.Wait()
@@ -174,7 +223,9 @@ func (v *Virtual) Sleep(d time.Duration) {
 
 // advanceLocked jumps time to the earliest deadline and wakes exactly
 // one sleeper — the earliest, FIFO among equal deadlines. Caller holds
-// v.mu and v.active == 0.
+// v.mu and v.active == 0. In targeted mode the woken sleeper is
+// returned and the caller must signal it after releasing v.mu; in
+// broadcast mode the condition variable is notified and nil returned.
 //
 // Waking one worker at a time (rather than every sleeper due at the
 // instant) keeps concurrent workloads deterministic: at most one worker
@@ -184,14 +235,18 @@ func (v *Virtual) Sleep(d time.Duration) {
 // the woken worker sleeps or finishes, the next sleeper due at the same
 // instant wakes; virtual time never regresses.
 //
-// The sharded engine merges the shard heads — the global minimum by
-// (deadline, seq) is the same sleeper a single heap would pop, so the
-// wake order (and therefore every downstream schedule) is invariant
-// under the shard count.
+// The sharded engine merges the shard heads and the calendar engine
+// pops its earliest bucket entry — in every engine the popped sleeper is
+// the global minimum by (deadline, seq), so the wake order (and
+// therefore every downstream schedule) is invariant under the engine.
 //
 // c4h:hotpath
-func (v *Virtual) advanceLocked() {
-	if v.shards != nil {
+func (v *Virtual) advanceLocked() *sleeper {
+	var s *sleeper
+	switch {
+	case v.cal != nil:
+		s = v.cal.pop()
+	case v.shards != nil:
 		bi := -1
 		var best *sleeper
 		for i := range v.shards {
@@ -205,28 +260,29 @@ func (v *Virtual) advanceLocked() {
 			}
 		}
 		if best == nil {
-			return
-		}
-		if best.deadline.After(v.now) {
-			v.now = best.deadline
+			return nil
 		}
 		heap.Pop(&v.shards[bi])
-		best.woken = true
-		v.active++
-		v.cond.Broadcast()
-		return
+		s = best
+	default:
+		if v.sleeper.Len() == 0 {
+			return nil
+		}
+		s = heap.Pop(&v.sleeper).(*sleeper)
 	}
-	if v.sleeper.Len() == 0 {
-		return
+	if s == nil {
+		return nil
 	}
-	next := v.sleeper[0].deadline
-	if next.After(v.now) {
-		v.now = next
+	if s.deadline.After(v.now) {
+		v.now = s.deadline
 	}
-	s := heap.Pop(&v.sleeper).(*sleeper)
 	s.woken = true
 	v.active++
+	if v.targeted {
+		return s
+	}
 	v.cond.Broadcast()
+	return nil
 }
 
 // Event is a deterministic one-shot broadcast point for registered
@@ -258,8 +314,20 @@ func (e *Event) Wait() {
 	}
 	e.waiters = append(e.waiters, s)
 	v.active--
+	var wake *sleeper
 	if v.active == 0 {
-		v.advanceLocked()
+		wake = v.advanceLocked()
+	}
+	if v.targeted {
+		v.mu.Unlock()
+		// wake can never be s here: s is parked on the event, not in the
+		// deadline queue, until Fire enqueues it.
+		if wake != nil {
+			wake.signal()
+		}
+		s.wait()
+		putSleeper(s)
+		return
 	}
 	for !s.woken {
 		v.cond.Wait()
@@ -282,11 +350,7 @@ func (e *Event) Fire() {
 			s.deadline = v.now
 			s.seq = v.seq
 			v.seq++
-			if v.shards != nil {
-				heap.Push(&v.shards[s.seq%uint64(len(v.shards))], s)
-			} else {
-				heap.Push(&v.sleeper, s)
-			}
+			v.enqueueLocked(s)
 		}
 		e.waiters = nil
 	}
@@ -295,9 +359,40 @@ func (e *Event) Fire() {
 
 type sleeper struct {
 	deadline time.Time
+	dns      time.Duration // deadline minus calendar epoch (calendar engine)
 	seq      uint64
 	woken    bool
 	index    int
+
+	// Targeted-wakeup rendezvous: a private one-waiter condition
+	// variable. Signalling one sleeper costs O(1), unlike the broadcast
+	// engines' cond.Broadcast which wakes every parked worker per
+	// advance.
+	wmu   sync.Mutex
+	wcond *sync.Cond
+	ready bool
+}
+
+// signal hands the wake token to a parked sleeper. A sleeper is
+// signalled at most once per park (advanceLocked pops it from the queue
+// before anyone may signal it), and never blocks the signaller.
+// Callers must not hold v.mu.
+func (s *sleeper) signal() {
+	s.wmu.Lock()
+	s.ready = true
+	s.wmu.Unlock()
+	s.wcond.Signal()
+}
+
+// wait parks until signal (token semantics: signal-before-wait returns
+// immediately). Callers must not hold v.mu.
+func (s *sleeper) wait() {
+	s.wmu.Lock()
+	for !s.ready {
+		s.wcond.Wait()
+	}
+	s.ready = false
+	s.wmu.Unlock()
 }
 
 // sleeperPool recycles sleeper records: every Sleep used to allocate
@@ -305,7 +400,9 @@ type sleeper struct {
 // small objects. A sleeper is owned by exactly one goroutine between
 // getSleeper and putSleeper, so pooling is race-free.
 var sleeperPool = sync.Pool{New: func() any {
-	return &sleeper{}
+	s := &sleeper{}
+	s.wcond = sync.NewCond(&s.wmu)
+	return s
 }}
 
 // c4h:hotpath
@@ -344,4 +441,162 @@ func (h *sleeperHeap) Pop() any {
 	old[n-1] = nil
 	*h = old[:n-1]
 	return s
+}
+
+// calendarQueue is a calendar-queue priority queue over sleepers: a ring
+// of deadline buckets of fixed width, each holding its sleepers sorted
+// descending by (deadline, seq) so the bucket minimum pops from the
+// tail in O(1).
+//
+// Ordering invariant (the "wheel ordering invariant" relied on for
+// byte-identical schedules): pop always returns the global minimum by
+// (deadline, seq). Equal deadlines map to the same bucket, where they
+// sit in seq order; across buckets the scan visits windows in
+// increasing deadline order starting from the last popped deadline, and
+// a bucket entry is only taken when its deadline falls inside the
+// window currently being scanned, so no later bucket can hide an
+// earlier deadline. If a whole lap finds nothing in-window (sparse,
+// far-future events), a direct minimum over the bucket tails resolves
+// the next event and the scan position jumps to it.
+type calendarQueue struct {
+	epoch   time.Time
+	width   time.Duration // bucket width
+	buckets [][]*sleeper
+	size    int
+	scan    time.Duration // lower bound on every queued dns
+}
+
+const (
+	calInitialBuckets = 64
+	calMaxBuckets     = 1 << 15
+	calMinWidth       = time.Microsecond
+)
+
+func newCalendarQueue(epoch time.Time) *calendarQueue {
+	return &calendarQueue{
+		epoch:   epoch,
+		width:   time.Millisecond,
+		buckets: make([][]*sleeper, calInitialBuckets),
+	}
+}
+
+// less orders sleepers by (deadline, seq) using the pre-computed
+// epoch-relative deadline.
+func calLess(a, b *sleeper) bool {
+	if a.dns != b.dns {
+		return a.dns < b.dns
+	}
+	return a.seq < b.seq
+}
+
+// insert files s by deadline. Amortised O(1): the resize policy keeps
+// expected bucket occupancy constant.
+//
+// c4h:hotpath
+func (q *calendarQueue) insert(s *sleeper) {
+	s.dns = s.deadline.Sub(q.epoch)
+	bi := q.bucketOf(s.dns)
+	b := q.buckets[bi]
+	// Descending order: binary-search the insertion point.
+	i := sort.Search(len(b), func(i int) bool { return calLess(b[i], s) })
+	if len(b) == cap(b) {
+		nb := make([]*sleeper, len(b), 2*cap(b)+4)
+		copy(nb, b)
+		b = nb
+	}
+	b = b[:len(b)+1]
+	copy(b[i+1:], b[i:len(b)-1])
+	b[i] = s
+	q.buckets[bi] = b
+	if s.dns < q.scan {
+		q.scan = s.dns
+	}
+	q.size++
+	if q.size > 2*len(q.buckets) && len(q.buckets) < calMaxBuckets {
+		q.resize()
+	}
+}
+
+func (q *calendarQueue) bucketOf(dns time.Duration) int {
+	b := int64(dns/q.width) % int64(len(q.buckets))
+	if b < 0 {
+		b += int64(len(q.buckets)) // deadlines before the epoch
+	}
+	return int(b)
+}
+
+// pop removes and returns the global (deadline, seq) minimum, or nil.
+//
+// c4h:hotpath
+func (q *calendarQueue) pop() *sleeper {
+	if q.size == 0 {
+		return nil
+	}
+	n := len(q.buckets)
+	pos := q.scan
+	for i := 0; i < n; i++ {
+		winEnd := pos - pos%q.width + q.width
+		b := q.buckets[q.bucketOf(pos)]
+		if len(b) > 0 {
+			if s := b[len(b)-1]; s.dns < winEnd {
+				q.buckets[q.bucketOf(pos)] = b[:len(b)-1]
+				q.size--
+				q.scan = s.dns
+				return s
+			}
+		}
+		pos = winEnd
+	}
+	// Sparse queue: nothing within a full lap of windows. Take the
+	// minimum over bucket tails directly and jump the scan to it.
+	var best *sleeper
+	bi := -1
+	for i := range q.buckets {
+		b := q.buckets[i]
+		if len(b) == 0 {
+			continue
+		}
+		if t := b[len(b)-1]; best == nil || calLess(t, best) {
+			best, bi = t, i
+		}
+	}
+	b := q.buckets[bi]
+	q.buckets[bi] = b[:len(b)-1]
+	q.size--
+	q.scan = best.dns
+	return best
+}
+
+// resize doubles the bucket count and re-derives the width from the
+// current deadline span so expected occupancy returns to O(1). The
+// policy depends only on queue content, which is schedule-deterministic,
+// so resizes (and therefore every subsequent bucket layout) are
+// identical across runs.
+func (q *calendarQueue) resize() {
+	old := q.buckets
+	var min, max time.Duration
+	first := true
+	for _, b := range old {
+		for _, s := range b {
+			if first || s.dns < min {
+				min = s.dns
+			}
+			if first || s.dns > max {
+				max = s.dns
+			}
+			first = false
+		}
+	}
+	width := (max - min) / time.Duration(q.size)
+	if width < calMinWidth {
+		width = calMinWidth
+	}
+	q.width = width
+	q.buckets = make([][]*sleeper, 2*len(old))
+	q.size = 0
+	for _, b := range old {
+		for _, s := range b {
+			q.insert(s)
+		}
+	}
 }

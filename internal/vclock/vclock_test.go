@@ -1,6 +1,8 @@
 package vclock
 
 import (
+	"container/heap"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -247,6 +249,155 @@ func TestEventReleasesWaitersAtFireInstant(t *testing.T) {
 			if w != want {
 				t.Fatalf("%s engine: waiter %d parked %v, want %v", name, i, w, want)
 			}
+		}
+	}
+}
+
+func TestVirtualCalendarMatchesDefault(t *testing.T) {
+	want := shardedWorkload(NewVirtual(epoch))
+	got := shardedWorkload(NewVirtualCalendar(epoch))
+	if len(got) != len(want) {
+		t.Fatalf("calendar: %d wakes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("calendar wake %d at %v, default engine at %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVirtualCalendarEqualDeadlinesAllWake(t *testing.T) {
+	v := NewVirtualCalendar(epoch)
+	var n atomic.Int32
+	v.Run(func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				v.Sleep(time.Second)
+				n.Add(1)
+			})
+		}
+		v.Sleep(2 * time.Second)
+		v.Block(wg.Wait)
+	})
+	if n.Load() != 8 {
+		t.Fatalf("woke %d of 8 sleepers", n.Load())
+	}
+}
+
+func TestEventReleasesWaitersAtFireInstantCalendar(t *testing.T) {
+	waits := eventWorkload(t, NewVirtualCalendar(epoch))
+	for i, w := range waits {
+		want := time.Second - time.Duration(i+1)*100*time.Millisecond
+		if w != want {
+			t.Fatalf("calendar engine: waiter %d parked %v, want %v", i, w, want)
+		}
+	}
+}
+
+// randomWakeWorkload drives W workers through seeded pseudo-random sleep
+// sequences spanning six orders of magnitude (µs to minutes) — enough
+// queued events to force several calendar resizes and sparse-lap
+// fallbacks — and returns the exact wake schedule.
+func randomWakeWorkload(v *Virtual, seed int64, workers, rounds int) []time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	durs := make([][]time.Duration, workers)
+	for w := range durs {
+		durs[w] = make([]time.Duration, rounds)
+		for j := range durs[w] {
+			exp := time.Duration(1) << uint(rng.Intn(26)) // 1ns .. ~67ms steps
+			durs[w][j] = time.Microsecond + exp
+		}
+	}
+	var mu sync.Mutex
+	sched := make([]time.Duration, 0, workers*rounds)
+	start := v.Now()
+	v.Run(func() {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			v.Go(func() {
+				defer wg.Done()
+				for _, d := range durs[w] {
+					v.Sleep(d)
+					mu.Lock()
+					sched = append(sched, v.Now().Sub(start))
+					mu.Unlock()
+				}
+			})
+		}
+		v.Block(wg.Wait)
+	})
+	return sched
+}
+
+// TestVirtualCalendarPropertyByteIdentical: across random workloads, the
+// calendar engine's complete wake schedule equals the heap engine's,
+// element for element — the wheel ordering invariant.
+func TestVirtualCalendarPropertyByteIdentical(t *testing.T) {
+	workers, rounds := 32, 40
+	if testing.Short() {
+		workers = 12
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		want := randomWakeWorkload(NewVirtual(epoch), seed, workers, rounds)
+		got := randomWakeWorkload(NewVirtualCalendar(epoch), seed, workers, rounds)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d wakes, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: wake %d at +%v, heap engine at +%v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCalendarQueueOrderAgainstHeap pounds the raw calendar queue with
+// interleaved inserts and pops (including far-future outliers that force
+// the sparse-lap fallback and same-instant duplicates that exercise seq
+// ordering) and checks every pop matches a reference heap.
+func TestCalendarQueueOrderAgainstHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := newCalendarQueue(epoch)
+	var ref sleeperHeap
+	var seq uint64
+	now := time.Duration(0)
+	for step := 0; step < 20000; step++ {
+		if q.size == 0 || rng.Intn(3) != 0 {
+			var d time.Duration
+			switch rng.Intn(10) {
+			case 0:
+				d = time.Duration(rng.Intn(1000)) * time.Hour // sparse outlier
+			case 1, 2:
+				d = 0 // same-instant (Event.Fire shape)
+			default:
+				d = time.Duration(rng.Intn(5_000_000)) * time.Nanosecond
+			}
+			s := &sleeper{deadline: epoch.Add(now + d), seq: seq}
+			seq++
+			q.insert(s)
+			r := &sleeper{deadline: s.deadline, seq: s.seq}
+			heap.Push(&ref, r)
+			continue
+		}
+		got := q.pop()
+		want := heap.Pop(&ref).(*sleeper)
+		if !got.deadline.Equal(want.deadline) || got.seq != want.seq {
+			t.Fatalf("step %d: popped (%v, %d), heap says (%v, %d)",
+				step, got.deadline, got.seq, want.deadline, want.seq)
+		}
+		now = got.deadline.Sub(epoch)
+	}
+	for q.size > 0 {
+		got := q.pop()
+		want := heap.Pop(&ref).(*sleeper)
+		if !got.deadline.Equal(want.deadline) || got.seq != want.seq {
+			t.Fatalf("drain: popped (%v, %d), heap says (%v, %d)",
+				got.deadline, got.seq, want.deadline, want.seq)
 		}
 	}
 }
