@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-typed lint-dataflow test race check bench profile repro examples clean
+.PHONY: all build vet lint lint-syntactic lint-typed lint-dataflow lint-concurrency test race check bench profile repro examples clean
 
-all: build vet lint lint-typed lint-dataflow test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -12,22 +12,38 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific invariants, fast tier: parse-only rules (wallclock,
-# globalrand, lockdiscipline, layering, goroleak). Findings are fatal;
-# see DESIGN.md "Static analysis & invariants".
+# All four analyzer tiers in one process: the module is parsed and
+# type-checked once, and every downstream engine (call graph, lock
+# flow, def-use, concurrency) is computed once and shared across rules.
+# Findings are fatal; see DESIGN.md "Static analysis & invariants".
 lint:
+	$(GO) run ./cmd/c4h-vet ./...
+
+# Individual tiers, for bisecting a failure or a fast first signal.
+# Each is a separate process, so running several re-loads the module;
+# prefer plain `lint` for the full gate.
+
+# Parse-only rules (wallclock, globalrand, lockdiscipline, layering,
+# goroleak): no type information, fastest tier.
+lint-syntactic:
 	$(GO) run ./cmd/c4h-vet -rule syntactic ./...
 
-# Slow tier: type-checks the module and runs the interprocedural rules
+# Type-checks the module and runs the interprocedural rules
 # (lockorder, guardedfield, mapiter, chanhold) over the call graph.
 lint-typed:
 	$(GO) run ./cmd/c4h-vet -rule typed ./...
 
-# Dataflow tier: the SSA-lite def-use engine (detflow, guardescape,
-# errsink, hotalloc) — taint propagation through per-function assignment
-# graphs with one-call-deep summaries.
+# The SSA-lite def-use engine (detflow, guardescape, errsink,
+# hotalloc) — taint propagation through per-function assignment graphs
+# with one-call-deep summaries.
 lint-dataflow:
 	$(GO) run ./cmd/c4h-vet -rule dataflow ./...
+
+# Goroutine-aware rules (atomicmix, spawnrace, condwait, arenaowner):
+# spawn-site tracking, sync-edge modeling, and arena ownership on top
+# of the lock-flow and def-use engines.
+lint-concurrency:
+	$(GO) run ./cmd/c4h-vet -rule concurrency ./...
 
 test:
 	$(GO) test ./...
@@ -36,7 +52,7 @@ race:
 	$(GO) test -race ./...
 
 # Everything CI runs, in CI's order.
-check: build vet lint lint-typed lint-dataflow test race
+check: build vet lint test race
 
 # One iteration of every benchmark, with the paper-reproduction metrics.
 # The stream also lands, machine-readable, in BENCH_baseline.json.

@@ -13,11 +13,13 @@
 // internal/analysis.Allowlist for the format.
 //
 // -rule selects a single rule ("lockorder"), a tier ("syntactic",
-// "typed"), or a comma-separated list; CI uses it to split the fast
-// parse-only pass from the type-checking interprocedural pass. -json
-// emits findings as a JSON array for log scraping. Exit codes are
-// unchanged by either flag: 0 clean, 1 findings, 2 usage/internal
-// error.
+// "typed", "dataflow", "concurrency"), or a comma-separated list; CI
+// uses it to split the fast parse-only pass from the type-checking
+// interprocedural passes. -format selects the rendering: "text" (the
+// default, one finding per line), "json" (an array for log scraping;
+// -json is a shorthand kept for compatibility), or "sarif" (SARIF
+// 2.1.0, for code-scanning upload). Exit codes are unchanged by any
+// output flag: 0 clean, 1 findings, 2 usage/internal error.
 package main
 
 import (
@@ -34,13 +36,25 @@ import (
 func main() {
 	allowFlag := flag.String("allow", "", "allowlist file (default: .c4h-vet-allow at the module root, if present)")
 	list := flag.Bool("list", false, "list rules and exit")
-	ruleFlag := flag.String("rule", "", "run only these rules: an ID, \"syntactic\", \"typed\", or a comma-separated list")
-	jsonFlag := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	ruleFlag := flag.String("rule", "", "run only these rules: an ID, a tier (\"syntactic\", \"typed\", \"dataflow\", \"concurrency\"), or a comma-separated list")
+	formatFlag := flag.String("format", "", "output format: text (default), json, or sarif")
+	jsonFlag := flag.Bool("json", false, "shorthand for -format json")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: c4h-vet [flags] [./... | path prefixes]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	format := *formatFlag
+	switch {
+	case format == "" && *jsonFlag:
+		format = "json"
+	case format == "":
+		format = "text"
+	case format != "text" && format != "json" && format != "sarif":
+		fmt.Fprintf(os.Stderr, "c4h-vet: unknown format %q (want text, json, or sarif)\n", format)
+		os.Exit(2)
+	}
 
 	rules := analysis.DefaultRules()
 	if *ruleFlag != "" {
@@ -58,7 +72,7 @@ func main() {
 		return
 	}
 
-	if err := run(rules, *allowFlag, *jsonFlag, flag.Args()); err != nil {
+	if err := run(rules, *allowFlag, format, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "c4h-vet:", err)
 		os.Exit(2)
 	}
@@ -74,7 +88,101 @@ type jsonDiag struct {
 	Suggestion string `json:"suggestion,omitempty"`
 }
 
-func run(rules []analysis.Rule, allowFile string, asJSON bool, args []string) error {
+// sarif* model the slice of SARIF 2.1.0 that code-scanning backends
+// consume: one run, the rule catalogue in the driver, one result per
+// finding with a single physical location. URIs are module-relative,
+// which matches a checkout-rooted upload.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifFrom renders the selected rules and findings as a SARIF log.
+// Every selected rule appears in the driver catalogue even when clean,
+// so scanning backends can close out previously-open alerts.
+func sarifFrom(rules []analysis.Rule, diags []analysis.Diagnostic) sarifLog {
+	drv := sarifDriver{Name: "c4h-vet"}
+	for _, r := range rules {
+		drv.Rules = append(drv.Rules, sarifRule{
+			ID:               r.ID(),
+			ShortDescription: sarifText{Text: r.Doc()},
+		})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		msg := d.Message
+		if d.Suggestion != "" {
+			msg += " (" + d.Suggestion + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.RuleID,
+			Level:   "error",
+			Message: sarifText{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: drv}, Results: results}},
+	}
+}
+
+func run(rules []analysis.Rule, allowFile string, format string, args []string) error {
 	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
 		return err
@@ -109,7 +217,8 @@ func run(rules []analysis.Rule, allowFile string, asJSON bool, args []string) er
 	diags := allow.Filter(analysis.Run(m, rules))
 	diags = filterByPaths(diags, prefixes)
 
-	if asJSON {
+	switch format {
+	case "json":
 		out := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
 			out = append(out, jsonDiag{
@@ -122,7 +231,13 @@ func run(rules []analysis.Rule, allowFile string, asJSON bool, args []string) er
 		if err := enc.Encode(out); err != nil {
 			return err
 		}
-	} else {
+	case "sarif":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sarifFrom(rules, diags)); err != nil {
+			return err
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}

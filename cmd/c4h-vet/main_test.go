@@ -77,6 +77,43 @@ func TestNormalizeArgsWildcard(t *testing.T) {
 	}
 }
 
+func TestSarifFrom(t *testing.T) {
+	rules := analysis.DefaultRules()
+	diags := []analysis.Diagnostic{
+		{
+			RuleID:     "spawnrace",
+			Pos:        token.Position{Filename: "internal/core/node.go", Line: 7, Column: 3},
+			Message:    "x is written by a goroutine and read by its spawner",
+			Suggestion: "join before reading",
+		},
+	}
+	log := sarifFrom(rules, diags)
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("log = %+v, want one 2.1.0 run", log)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "c4h-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	if len(run.Tool.Driver.Rules) != len(rules) {
+		t.Errorf("driver lists %d rules, want the full catalogue of %d", len(run.Tool.Driver.Rules), len(rules))
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(run.Results))
+	}
+	res := run.Results[0]
+	if res.RuleID != "spawnrace" || res.Level != "error" {
+		t.Errorf("result = %+v", res)
+	}
+	if !strings.Contains(res.Message.Text, "join before reading") {
+		t.Errorf("suggestion not folded into message: %q", res.Message.Text)
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/node.go" || loc.Region.StartLine != 7 {
+		t.Errorf("location = %+v", loc)
+	}
+}
+
 func TestFilterByPaths(t *testing.T) {
 	diags := []analysis.Diagnostic{
 		{RuleID: "wallclock", Pos: token.Position{Filename: "internal/core/node.go", Line: 1}},

@@ -86,22 +86,39 @@ func DataflowRules() []Rule {
 	}
 }
 
+// ConcurrencyRules returns the goroutine-aware rules. They share the
+// typed tier's lock-flow summaries plus one concurrency pass over every
+// function: spawn sites, sync edges, cond bindings, and shared-variable
+// access classification (see concflow.go).
+func ConcurrencyRules() []Rule {
+	return []Rule{
+		AtomicMix{},
+		SpawnRace{},
+		CondWait{},
+		ArenaOwner{},
+	}
+}
+
 // DefaultRules returns every rule c4h-vet ships, in reporting order:
 // the fast syntactic tier first, then the typed interprocedural tier,
-// then the def-use dataflow tier.
+// then the def-use dataflow tier, then the goroutine-aware concurrency
+// tier.
 func DefaultRules() []Rule {
-	return append(append(SyntacticRules(), TypedRules()...), DataflowRules()...)
+	out := append(SyntacticRules(), TypedRules()...)
+	out = append(out, DataflowRules()...)
+	return append(out, ConcurrencyRules()...)
 }
 
 // SelectRules resolves a rule selector: a rule ID, the group names
-// "syntactic", "typed", and "dataflow", or a comma-separated list of
-// either. Duplicate selections (e.g. "typed,mapiter") collapse to one
-// run of each rule.
+// "syntactic", "typed", "dataflow", and "concurrency", or a
+// comma-separated list of either. Duplicate selections (e.g.
+// "typed,mapiter") collapse to one run of each rule.
 func SelectRules(selector string) ([]Rule, error) {
 	byID := map[string][]Rule{
-		"syntactic": SyntacticRules(),
-		"typed":     TypedRules(),
-		"dataflow":  DataflowRules(),
+		"syntactic":   SyntacticRules(),
+		"typed":       TypedRules(),
+		"dataflow":    DataflowRules(),
+		"concurrency": ConcurrencyRules(),
 	}
 	for _, r := range DefaultRules() {
 		byID[r.ID()] = []Rule{r}

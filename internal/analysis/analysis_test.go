@@ -36,6 +36,10 @@ var fixtureRules = map[string]Rule{
 	"guardescape":    GuardEscape{},
 	"errsink":        ErrSink{},
 	"hotalloc":       HotAlloc{},
+	"atomicmix":      AtomicMix{},
+	"spawnrace":      SpawnRace{},
+	"condwait":       CondWait{},
+	"arenaowner":     ArenaOwner{},
 }
 
 func TestFixtures(t *testing.T) {
@@ -346,7 +350,9 @@ func TestSelectRules(t *testing.T) {
 		{"syntactic", []string{"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak"}},
 		{"typed", []string{"lockorder", "guardedfield", "mapiter", "chanhold"}},
 		{"dataflow", []string{"detflow", "guardescape", "errsink", "hotalloc"}},
+		{"concurrency", []string{"atomicmix", "spawnrace", "condwait", "arenaowner"}},
 		{"lockorder", []string{"lockorder"}},
+		{"spawnrace,condwait", []string{"spawnrace", "condwait"}},
 		{"syntactic,wallclock", []string{"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak"}},
 		{"errsink, hotalloc", []string{"errsink", "hotalloc"}},
 	}

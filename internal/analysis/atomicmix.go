@@ -1,0 +1,181 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags shared variables that are accessed atomically at one
+// site and plainly at another — the mix that makes the atomics
+// worthless, since the plain access can tear or be reordered against
+// the atomic ones. Two shapes are detected:
+//
+//   - classic call-form atomics: a variable passed to a sync/atomic
+//     function (atomic.AddInt64(&x, 1)) that is also read or written
+//     directly elsewhere;
+//   - wrapper types: a value of type atomic.Int64, atomic.Bool, … used
+//     as a plain value — copied into a local, assigned over, or passed
+//     by value. The copy carries a snapshot nothing synchronises with
+//     (and go vet's copylocks only catches some of these shapes).
+//
+// Method calls on a wrapper, and taking a wrapper's address (to pass a
+// *atomic.Bool down a call chain), are the sanctioned uses and stay
+// silent. Pointers to wrappers copy freely: the atomicity lives in the
+// pointed-to cell.
+type AtomicMix struct{}
+
+// ID implements Rule.
+func (AtomicMix) ID() string { return "atomicmix" }
+
+// Doc implements Rule.
+func (AtomicMix) Doc() string {
+	return "a variable accessed via sync/atomic must not also be accessed plainly (torn reads defeat the atomics)"
+}
+
+// Check implements Rule.
+func (AtomicMix) Check(m *Module) []Diagnostic {
+	lf, err := m.lockFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("atomicmix", err)}
+	}
+	ti := lf.ti
+
+	// Pass one over every file: record atomic access sites per object
+	// and sanction the expression subtrees that ARE the atomic access
+	// (call arguments, method receivers, address-taking).
+	type atomicSite struct {
+		pos  token.Pos
+		verb string
+	}
+	atomicAt := map[types.Object]atomicSite{}
+	sanctioned := map[ast.Node]bool{}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					fn := calleeOf(ti.Info, n)
+					if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+						return true
+					}
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+						if selection, ok := ti.Info.Selections[sel]; ok && selection.Kind() == types.MethodVal {
+							// Wrapper method: s.ctr.Add(1). The receiver is the
+							// sanctioned atomic access; plain uses of wrapper
+							// values are caught by the type check below, and
+							// reading a *pointer* to a wrapper (nil checks,
+							// forwarding) never touches the cell.
+							sanctioned[sel.X] = true
+							return true
+						}
+					}
+					// Classic form: atomic.AddInt64(&x, 1). The &x argument
+					// names the cell accessed atomically. A pointer variable
+					// passed instead (atomic.AddInt64(p, 1)) is skipped: reads
+					// of p itself are pointer reads, not cell accesses.
+					for _, a := range n.Args {
+						target := ast.Unparen(a)
+						if ue, ok := target.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+							target = ast.Unparen(ue.X)
+						} else {
+							continue
+						}
+						if obj := lf.syncVarObj(target); obj != nil {
+							sanctioned[a] = true
+							if _, seen := atomicAt[obj]; !seen {
+								atomicAt[obj] = atomicSite{pos: n.Pos(), verb: fn.Name()}
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					// &s.ctr to pass a *atomic.Bool down a call chain: the
+					// callee operates through methods, which is fine.
+					if n.Op == token.AND && isAtomicValueType(ti.Info.Types[n.X].Type) {
+						sanctioned[n.X] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass two: every remaining (unsanctioned) occurrence is a plain
+	// access — a violation for wrapper-typed values always, and for
+	// classic cells when pass one saw them accessed atomically.
+	var ds []Diagnostic
+	report := func(n ast.Node, msg, suggestion string) {
+		ds = append(ds, Diagnostic{
+			RuleID:     "atomicmix",
+			Pos:        position(m, n.Pos()),
+			Message:    msg,
+			Suggestion: suggestion,
+		})
+	}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			if f.Test {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				if sanctioned[n] {
+					return false
+				}
+				var obj types.Object
+				var name string
+				switch n := n.(type) {
+				case *ast.Ident:
+					v, ok := ti.Info.Uses[n].(*types.Var)
+					if !ok || v.IsField() {
+						return true
+					}
+					obj, name = v, n.Name
+				case *ast.SelectorExpr:
+					selection, ok := ti.Info.Selections[n]
+					if !ok || selection.Kind() != types.FieldVal {
+						return true
+					}
+					v, ok := selection.Obj().(*types.Var)
+					if !ok {
+						return true
+					}
+					obj, name = v, exprString(n)
+				default:
+					return true
+				}
+				if isAtomicValueType(obj.Type()) {
+					report(n,
+						fmt.Sprintf("%s has type %s but is used as a plain value here", name, obj.Type()),
+						"operate through the wrapper's methods (Load/Store/Add); copying the value snapshots it without synchronisation")
+					return true
+				}
+				if site, ok := atomicAt[obj]; ok {
+					report(n,
+						fmt.Sprintf("%s is accessed atomically (atomic.%s at %s) but plainly here",
+							name, site.verb, position(m, site.pos)),
+						"use sync/atomic for every access to this variable, or drop the atomics and guard it with a mutex")
+				}
+				return true
+			})
+		}
+	}
+	return ds
+}
+
+// isAtomicValueType reports whether t is directly a sync/atomic named
+// type (atomic.Int64, atomic.Bool, …). Pointers to wrappers are NOT
+// included: copying the pointer is safe, the cell is shared.
+func isAtomicValueType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync/atomic"
+}

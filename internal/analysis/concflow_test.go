@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// buildConc runs the concurrency engine over a single-file in-memory
+// module and returns the computed flow state.
+func buildConc(t *testing.T, src string) *concFlow {
+	t.Helper()
+	m := parseEngineModule(t, src)
+	cf, err := m.concFlow()
+	if err != nil {
+		t.Fatalf("concFlow: %v", err)
+	}
+	return cf
+}
+
+// findScope returns the scope for the named declared function.
+func findScope(t *testing.T, cf *concFlow, name string) *concScope {
+	t.Helper()
+	for _, sc := range cf.scopes {
+		if sc.name == name {
+			return sc
+		}
+	}
+	t.Fatalf("scope %s not found (have %d scopes)", name, len(cf.scopes))
+	return nil
+}
+
+func TestAsyncWrapperDetection(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+// Go launches fn on a fresh goroutine and returns immediately.
+func Go(fn func()) { go fn() }
+
+// GoLit forwards fn into a spawned literal.
+func GoLit(fn func()) {
+	go func() { fn() }()
+}
+
+// Forward only reaches a goroutine through Go; the fixpoint must
+// still classify its parameter as async.
+func Forward(fn func()) { Go(fn) }
+
+// Joined spawns but waits before returning, so callers observe
+// completion: not an async wrapper.
+func Joined(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+}
+
+// Direct calls fn synchronously.
+func Direct(fn func()) { fn() }
+`
+	cf := buildConc(t, src)
+	got := map[string]bool{}
+	for obj, params := range cf.asyncParams {
+		if params[0] {
+			got[obj.Name()] = true
+		}
+	}
+	for _, want := range []string{"Go", "GoLit", "Forward"} {
+		if !got[want] {
+			t.Errorf("%s param 0 not classified async; got %v", want, got)
+		}
+	}
+	for _, wantNot := range []string{"Joined", "Direct"} {
+		if got[wantNot] {
+			t.Errorf("%s wrongly classified as async wrapper", wantNot)
+		}
+	}
+}
+
+func TestSpawnSiteAndJoinModeling(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+func Run() int {
+	n := 0
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n = 1
+	}()
+	wg.Wait()
+	return n
+}
+`
+	cf := buildConc(t, src)
+	sc := findScope(t, cf, "fixture.Run")
+	if len(sc.spawns) != 1 {
+		t.Fatalf("spawns = %d, want 1", len(sc.spawns))
+	}
+	sp := sc.spawns[0]
+	if sp.via != "go" {
+		t.Errorf("spawn via = %q, want \"go\"", sp.via)
+	}
+	var wroteN bool
+	for _, a := range sp.accesses {
+		if a.name == "n" && a.write {
+			wroteN = true
+		}
+	}
+	if !wroteN {
+		t.Errorf("goroutine write of n not recorded; accesses = %+v", sp.accesses)
+	}
+	if len(sp.dones) == 0 {
+		t.Errorf("wg.Done inside goroutine not recorded as completion signal")
+	}
+	var waited bool
+	for _, j := range sc.joins {
+		if j.kind == "wait" && j.pos > sp.pos && sp.dones[j.obj] {
+			waited = true
+		}
+	}
+	if !waited {
+		t.Errorf("wg.Wait join not matched to spawn's Done; joins = %+v", sc.joins)
+	}
+	var readN bool
+	for _, a := range sc.post {
+		if a.name == "n" && !a.write && a.pos > sp.pos {
+			readN = true
+		}
+	}
+	if !readN {
+		t.Errorf("spawner read of n after spawn not recorded; post = %+v", sc.post)
+	}
+}
+
+func TestAsyncWrapperSpawnSite(t *testing.T) {
+	src := `package fixture
+
+func Go(fn func()) { go fn() }
+
+func Use() int {
+	x := 0
+	Go(func() { x++ })
+	return x
+}
+`
+	cf := buildConc(t, src)
+	sc := findScope(t, cf, "fixture.Use")
+	if len(sc.spawns) != 1 {
+		t.Fatalf("spawns = %d, want 1 (async-wrapper call site)", len(sc.spawns))
+	}
+	sp := sc.spawns[0]
+	if sp.via != "fixture.Go" {
+		t.Errorf("spawn via = %q, want \"fixture.Go\"", sp.via)
+	}
+	var wroteX bool
+	for _, a := range sp.accesses {
+		if a.name == "x" && a.write {
+			wroteX = true
+		}
+	}
+	if !wroteX {
+		t.Errorf("closure write of x not attributed to wrapper spawn; accesses = %+v", sp.accesses)
+	}
+}
+
+func TestCondBindingCollection(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type box struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ok   bool
+}
+
+func newBox() *box {
+	b := &box{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+var gmu sync.Mutex
+var gcond = sync.NewCond(&gmu)
+`
+	cf := buildConc(t, src)
+	if len(cf.conds) != 2 {
+		t.Fatalf("conds = %d, want 2", len(cf.conds))
+	}
+	classes := map[string]bool{}
+	for _, b := range cf.conds {
+		if b.cond == nil {
+			t.Errorf("binding %s has nil cond object", b.condName)
+		}
+		if b.locker == nil {
+			t.Errorf("binding %s has nil locker object", b.condName)
+		}
+		classes[b.lockerCls] = true
+		if cf.condByObj[b.cond] != b {
+			t.Errorf("condByObj does not round-trip for %s", b.condName)
+		}
+	}
+	for _, want := range []string{"fixture.box.mu", "fixture.gmu"} {
+		if !classes[want] {
+			t.Errorf("locker class %q not collected; have %v", want, classes)
+		}
+	}
+}
+
+func TestArenaFieldCollection(t *testing.T) {
+	src := `package fixture
+
+import "sync"
+
+type tree struct{ v int }
+
+type holder struct {
+	mu sync.Mutex
+	// c4h:arena
+	root *tree
+	name string
+}
+`
+	cf := buildConc(t, src)
+	if len(cf.arenaFields) != 1 {
+		t.Fatalf("arenaFields = %d, want 1", len(cf.arenaFields))
+	}
+	for f := range cf.arenaFields {
+		if f.Name() != "root" {
+			t.Errorf("arena field = %s, want root", f.Name())
+		}
+	}
+}

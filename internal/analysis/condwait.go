@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CondWait checks the three-way contract of sync.Cond:
+//
+//   - Wait must sit in a predicate re-check loop (`for !pred {
+//     c.Wait() }`): wakeups are advisory — Broadcast wakes everyone,
+//     Signal may wake the wrong waiter, and the predicate can be
+//     re-falsified between the wakeup and the waiter re-acquiring the
+//     lock. A bare `if !pred { c.Wait() }` proceeds on a stale truth.
+//   - Wait must be called with the cond's locker held — the locker
+//     passed to sync.NewCond, matched object-precisely through the
+//     concflow engine's binding registry. Wait on an unlocked mutex
+//     panics ("sync: unlock of unlocked mutex") at runtime.
+//   - The waited predicate must only be mutated with the locker held:
+//     an unlocked store can slip between the waiter's predicate check
+//     and its Wait, and the matching Signal then fires before the
+//     waiter is registered — a lost wakeup that hangs the waiter
+//     forever. Constructor-fresh stores (including sync.Pool.Get
+//     recycling, where the value is still exclusively owned) are
+//     exempt, as are stores in helpers whose every in-module call site
+//     holds the locker (the fooLocked convention, via entry-held sets).
+type CondWait struct{}
+
+// ID implements Rule.
+func (CondWait) ID() string { return "condwait" }
+
+// Doc implements Rule.
+func (CondWait) Doc() string {
+	return "sync.Cond Wait needs a predicate loop and its locker held; predicates may only be mutated under the locker"
+}
+
+// Check implements Rule.
+func (CondWait) Check(m *Module) []Diagnostic {
+	lf, err := m.lockFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("condwait", err)}
+	}
+	cf, err := m.concFlow()
+	if err != nil {
+		return []Diagnostic{typeErrorDiag("condwait", err)}
+	}
+
+	var ds []Diagnostic
+	// predBind maps each predicate field/variable read in a Wait loop's
+	// condition to the cond bindings whose locker must guard its writes.
+	predBind := map[types.Object][]*condBinding{}
+	for _, fi := range lf.cg.Funcs {
+		ds = append(ds, checkWaitLoops(m, lf, cf, fi, predBind)...)
+	}
+	ds = append(ds, checkWaitLockers(m, lf, cf)...)
+	ds = append(ds, checkPredicateWrites(m, lf, predBind)...)
+	return ds
+}
+
+// checkWaitLoops walks one function's AST, flags Wait calls outside a
+// predicate loop, and collects predicate→binding edges from the loop
+// conditions of the well-formed ones.
+func checkWaitLoops(m *Module, lf *lockFlow, cf *concFlow, fi *FuncInfo, predBind map[types.Object][]*condBinding) []Diagnostic {
+	var ds []Diagnostic
+	var stack []ast.Node
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, obj, inst, ok := lf.classifyCondCall(call)
+		if !ok || kind != "Wait" {
+			return true
+		}
+		// The re-check loop must enclose the Wait within the same
+		// function activation: a loop outside an enclosing literal wakes
+		// a different frame.
+		var loop *ast.ForStmt
+		for i := len(stack) - 2; i >= 0; i-- {
+			if _, isLit := stack[i].(*ast.FuncLit); isLit {
+				break
+			}
+			if f, isFor := stack[i].(*ast.ForStmt); isFor {
+				loop = f
+				break
+			}
+		}
+		if loop == nil {
+			ds = append(ds, Diagnostic{
+				RuleID: "condwait",
+				Pos:    position(m, call.Pos()),
+				Message: fmt.Sprintf("%s.Wait() is not wrapped in a predicate re-check loop in %s",
+					inst, funcDisplayName(m.Path, fi.Obj)),
+				Suggestion: "wrap it as `for !predicate { " + inst + ".Wait() }`; wakeups are advisory and can be spurious or stale",
+			})
+			return true
+		}
+		if loop.Cond == nil || obj == nil {
+			return true // for{}-shaped loop or unresolved cond: nothing to bind
+		}
+		binding := cf.condByObj[obj]
+		if binding == nil {
+			return true
+		}
+		for _, pred := range predicateObjs(lf, loop.Cond) {
+			predBind[pred] = append(predBind[pred], binding)
+		}
+		return true
+	})
+	return ds
+}
+
+// predicateObjs resolves the struct fields and package-level variables
+// a Wait loop's condition reads. Locals are skipped: the write events
+// the check consumes only cover fields and package variables, and a
+// local predicate is function-private anyway.
+func predicateObjs(lf *lockFlow, cond ast.Expr) []types.Object {
+	var out []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if selection, ok := lf.ti.Info.Selections[n]; ok && selection.Kind() == types.FieldVal {
+				if obj := selection.Obj(); obj != nil && !seen[obj] {
+					seen[obj] = true
+					out = append(out, obj)
+				}
+			}
+		case *ast.Ident:
+			if v, ok := lf.ti.Info.Uses[n].(*types.Var); ok && !v.IsField() &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkWaitLockers verifies every Wait event holds its cond's locker,
+// directly or via the entry-held guarantee.
+func checkWaitLockers(m *Module, lf *lockFlow, cf *concFlow) []Diagnostic {
+	var ds []Diagnostic
+	for _, sum := range lf.allSummaries() {
+		for _, op := range sum.condOps {
+			if op.kind != "Wait" || op.obj == nil {
+				continue
+			}
+			binding := cf.condByObj[op.obj]
+			if binding == nil || (binding.locker == nil && binding.lockerCls == "") {
+				continue // unbound cond: nothing to verify against
+			}
+			if lockerHeld(op.held, sum.entryHeld, binding) {
+				continue
+			}
+			ds = append(ds, Diagnostic{
+				RuleID: "condwait",
+				Pos:    position(m, op.pos),
+				Message: fmt.Sprintf("%s.Wait() called without holding its locker %s (bound at sync.NewCond, %s) in %s",
+					op.inst, binding.lockerStr, position(m, binding.pos), sum.name),
+				Suggestion: "acquire " + binding.lockerStr + " before waiting; Cond.Wait unlocks and re-locks it and panics if it is not held",
+			})
+		}
+	}
+	return ds
+}
+
+// checkPredicateWrites verifies every non-fresh store to a waited
+// predicate holds the binding cond's locker.
+func checkPredicateWrites(m *Module, lf *lockFlow, predBind map[types.Object][]*condBinding) []Diagnostic {
+	var ds []Diagnostic
+	seen := map[string]bool{}
+	for _, sum := range lf.allSummaries() {
+		for _, wr := range sum.writes {
+			bindings := predBind[wr.obj]
+			if len(bindings) == 0 || wr.fresh {
+				continue
+			}
+			guarded := false
+			for _, b := range bindings {
+				if lockerHeld(wr.held, sum.entryHeld, b) {
+					guarded = true
+					break
+				}
+			}
+			if guarded {
+				continue
+			}
+			pos := position(m, wr.pos)
+			key := pos.Filename + fmt.Sprint(":", pos.Line, ":", pos.Column)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			b := bindings[0]
+			ds = append(ds, Diagnostic{
+				RuleID: "condwait",
+				Pos:    pos,
+				Message: fmt.Sprintf("%s is a predicate of cond %s but is written here without holding its locker %s in %s",
+					wr.obj.Name(), b.condName, b.lockerStr, sum.name),
+				Suggestion: "mutate the predicate only with " + b.lockerStr + " held, then Signal/Broadcast; an unlocked store can lose the wakeup",
+			})
+		}
+	}
+	return ds
+}
+
+// lockerHeld reports whether the binding's locker is in the held set
+// (object-precise when resolved, class-matched otherwise) or guaranteed
+// by the function's entry-held classes.
+func lockerHeld(hs []heldRef, entryHeld map[string]bool, b *condBinding) bool {
+	for _, h := range hs {
+		if b.locker != nil && h.obj == b.locker {
+			return true
+		}
+		if b.lockerCls != "" && h.class == b.lockerCls {
+			return true
+		}
+	}
+	return b.lockerCls != "" && entryHeld[b.lockerCls]
+}

@@ -57,6 +57,12 @@ const (
 	// taintAlias marks expressions that alias a `// guarded by` field —
 	// its address, or the field's own pointer/slice/map/chan value.
 	taintAlias
+	// taintArena marks references into a `// c4h:arena` interned store —
+	// the annotated field's own reference value or its address. It shares
+	// taintAlias's kill semantics (copies sever it) but is its own kind:
+	// the arena contract bans retention across *mutation points* even
+	// where a guarded-field alias would be legal.
+	taintArena
 )
 
 func (k taintKind) String() string {
@@ -69,8 +75,16 @@ func (k taintKind) String() string {
 		return "map-iteration order"
 	case taintAlias:
 		return "guarded-field alias"
+	case taintArena:
+		return "arena reference"
 	}
 	return "?"
+}
+
+// aliasKind reports whether a mark tracks referential identity (and so
+// dies at copying operations) rather than a value property.
+func aliasKind(k taintKind) bool {
+	return k == taintAlias || k == taintArena
 }
 
 // taintMark is one source reaching a value: what kind, where the source
@@ -107,7 +121,7 @@ func (s markSet) addAll(o markSet) bool {
 // reporting.
 func (s markSet) sortedMarks() []taintMark {
 	var out []taintMark
-	for _, k := range []taintKind{taintWall, taintRand, taintOrder, taintAlias} {
+	for _, k := range []taintKind{taintWall, taintRand, taintOrder, taintAlias, taintArena} {
 		if m, ok := s[k]; ok {
 			out = append(out, m)
 		}
@@ -537,12 +551,12 @@ func (du *defUse) taintInto(e ast.Expr, out markSet) {
 		du.taintInto(e.X, out)
 	case *ast.IndexExpr:
 		// Indexing extracts an element *value*: it does not alias the
-		// container itself, so the alias kind stops here. Value and order
+		// container itself, so the alias kinds stop here. Value and order
 		// kinds carried by the container's contents still flow.
 		base := markSet{}
 		du.taintInto(e.X, base)
 		for _, m := range base.sortedMarks() {
-			if m.kind != taintAlias {
+			if !aliasKind(m.kind) {
 				out.add(m)
 			}
 		}
@@ -582,7 +596,7 @@ func (du *defUse) callTaint(call *ast.CallExpr, out markSet) {
 						elem := markSet{}
 						du.taintInto(a, elem)
 						for _, m := range elem.sortedMarks() {
-							if m.kind != taintAlias {
+							if !aliasKind(m.kind) {
 								out.add(m)
 							}
 						}
@@ -605,7 +619,7 @@ func (du *defUse) callTaint(call *ast.CallExpr, out markSet) {
 		arg := markSet{}
 		du.taintInto(call.Args[0], arg)
 		for _, m := range arg.sortedMarks() {
-			if m.kind == taintAlias {
+			if aliasKind(m.kind) {
 				continue
 			}
 			out.add(m)

@@ -47,6 +47,9 @@ type Module struct {
 	flow *lockFlowResult
 	// defuse caches the def-use dataflow context built on top of both.
 	defuse *dataFlowResult
+	// conc caches the goroutine-aware concurrency context built on top
+	// of the lock-flow summaries (see concflow.go).
+	conc *concFlowResult
 }
 
 // FindModuleRoot walks upward from dir until it finds go.mod.

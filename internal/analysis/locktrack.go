@@ -38,11 +38,15 @@ import (
 // empty held set and no link, since they run on another goroutine or at
 // return.
 
-// heldRef is one lock in a held-set snapshot.
+// heldRef is one lock in a held-set snapshot. obj is the mutex's own
+// field or variable object when the expression resolves to one — the
+// concurrency tier matches lockers object-precisely (condwait needs to
+// know *which* mutex guards a Cond's predicate, not just a class name).
 type heldRef struct {
 	class string
 	inst  string
 	pos   token.Pos
+	obj   types.Object
 }
 
 // acquireEvent is one Lock/RLock with the locks already held.
@@ -68,6 +72,30 @@ type chanOpEvent struct {
 	pos  token.Pos
 }
 
+// condOpEvent is one sync.Cond method call (Wait, Signal, Broadcast)
+// with the locks held at the call site. The concurrency tier's condwait
+// rule joins these with the cond→locker bindings the concflow engine
+// extracts from sync.NewCond calls.
+type condOpEvent struct {
+	kind string       // "Wait", "Signal", "Broadcast"
+	obj  types.Object // the cond's field/var object (nil if unresolved)
+	inst string       // rendered cond expression ("s.wcond")
+	pos  token.Pos
+	held []heldRef
+}
+
+// writeEvent is one plain store to a struct field or package-level
+// variable, with the locks held at the store. The condwait rule uses
+// these to verify that a waited predicate is only mutated under the
+// cond's locker; fresh stores (constructor initialisation of a local
+// still private to the function) are recorded but exempt.
+type writeEvent struct {
+	obj   types.Object
+	pos   token.Pos
+	held  []heldRef
+	fresh bool
+}
+
 // accessEvent is one touch of a `// guarded by`-annotated field.
 type accessEvent struct {
 	field *types.Var
@@ -85,6 +113,8 @@ type fnSummary struct {
 	acquires []acquireEvent
 	calls    []callEvent
 	chanOps  []chanOpEvent
+	condOps  []condOpEvent
+	writes   []writeEvent
 	accesses []accessEvent
 
 	// transAcq maps every lock class this function may acquire, itself
@@ -310,8 +340,12 @@ func (w *flowWalker) walkStmt(s ast.Stmt, st held) (held, bool) {
 			w.scanExpr(e, st)
 		}
 		w.markFresh(s.Lhs, s.Rhs)
+		if s.Tok != token.DEFINE {
+			w.recordWrites(s.Lhs, st)
+		}
 	case *ast.IncDecStmt:
 		w.scanExpr(s.X, st)
+		w.recordWrites([]ast.Expr{s.X}, st)
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -468,7 +502,7 @@ func (w *flowWalker) walkCases(body *ast.BlockStmt, st held) (held, bool) {
 // literal is approximated as running with the locks held where it was
 // registered.
 func (w *flowWalker) walkDefer(s *ast.DeferStmt, st held) {
-	if act, _, _, ok := w.lf.classifyLockCall(w.sum, s.Call); ok && act == actUnlock {
+	if act, _, _, _, ok := w.lf.classifyLockCall(w.sum, s.Call); ok && act == actUnlock {
 		return
 	}
 	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
@@ -519,10 +553,35 @@ func (w *flowWalker) markFresh(lhs, rhs []ast.Expr) {
 		if obj == nil {
 			continue
 		}
-		if isFreshExpr(rhs[i]) {
+		if isFreshExpr(rhs[i]) || w.lf.isPoolGet(rhs[i]) {
 			w.fresh[obj] = true
 		}
 	}
+}
+
+// isPoolGet matches sync.Pool Get results (with or without a type
+// assertion): a pool hands out exclusively-owned values, so accesses
+// through them are private until the value is Put back — the recycling
+// cousin of the fresh-constructor exemption.
+func (lf *lockFlow) isPoolGet(e ast.Expr) bool {
+	if ta, ok := ast.Unparen(e).(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Get" {
+		return false
+	}
+	selection, ok := lf.ti.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" &&
+		namedTypeName(lf.m.Path, selection.Recv()) == "sync.Pool"
 }
 
 func isFreshExpr(e ast.Expr) bool {
@@ -561,16 +620,22 @@ func (w *flowWalker) scanExpr(e ast.Expr, st held) {
 		case *ast.SelectorExpr:
 			w.recordAccess(n, st)
 		case *ast.CallExpr:
-			if act, class, inst, ok := w.lf.classifyLockCall(w.sum, n); ok {
+			if act, class, inst, obj, ok := w.lf.classifyLockCall(w.sum, n); ok {
 				switch act {
 				case actLock:
 					w.sum.acquires = append(w.sum.acquires, acquireEvent{
 						class: class, inst: inst, pos: n.Pos(), held: st.snapshot(),
 					})
-					st[inst] = heldRef{class: class, inst: inst, pos: n.Pos()}
+					st[inst] = heldRef{class: class, inst: inst, pos: n.Pos(), obj: obj}
 				case actUnlock:
 					delete(st, inst)
 				}
+				return false
+			}
+			if kind, obj, inst, ok := w.lf.classifyCondCall(n); ok {
+				w.sum.condOps = append(w.sum.condOps, condOpEvent{
+					kind: kind, obj: obj, inst: inst, pos: n.Pos(), held: st.snapshot(),
+				})
 				return false
 			}
 			w.recordCall(n, st)
@@ -622,12 +687,13 @@ func (w *flowWalker) recordAccess(sel *ast.SelectorExpr, st held) {
 
 // classifyLockCall decides whether call is a sync.Mutex / sync.RWMutex
 // (possibly embedded/promoted) Lock-family method call, and returns the
-// lock's class and instance keys. Read and write locks share a key:
-// both matter for ordering, and either satisfies a guard.
-func (lf *lockFlow) classifyLockCall(sum *fnSummary, call *ast.CallExpr) (act lockAct, class, inst string, ok bool) {
+// lock's class and instance keys plus (when the mutex expression is a
+// direct field or variable reference) its object. Read and write locks
+// share a key: both matter for ordering, and either satisfies a guard.
+func (lf *lockFlow) classifyLockCall(sum *fnSummary, call *ast.CallExpr) (act lockAct, class, inst string, obj types.Object, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel || len(call.Args) != 0 {
-		return actNone, "", "", false
+		return actNone, "", "", nil, false
 	}
 	switch sel.Sel.Name {
 	case "Lock", "RLock":
@@ -635,21 +701,22 @@ func (lf *lockFlow) classifyLockCall(sum *fnSummary, call *ast.CallExpr) (act lo
 	case "Unlock", "RUnlock":
 		act = actUnlock
 	default:
-		return actNone, "", "", false
+		return actNone, "", "", nil, false
 	}
 	selection, hasSel := lf.ti.Info.Selections[sel]
 	if !hasSel || selection.Kind() != types.MethodVal {
-		return actNone, "", "", false
+		return actNone, "", "", nil, false
 	}
 	fn, isFn := selection.Obj().(*types.Func)
 	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return actNone, "", "", false
+		return actNone, "", "", nil, false
 	}
 
 	recv := selection.Recv()
 	index := selection.Index()
 	if len(index) > 1 {
 		// Promoted through embedding: s.Lock() where s embeds the mutex.
+		// No object here — the concurrency tier falls back to class keys.
 		names := fieldPathNames(recv, index[:len(index)-1])
 		owner := namedTypeName(lf.m.Path, recv)
 		if owner == "" {
@@ -657,13 +724,124 @@ func (lf *lockFlow) classifyLockCall(sum *fnSummary, call *ast.CallExpr) (act lo
 		}
 		class = owner + "." + strings.Join(names, ".")
 		inst = exprString(sel.X) + "." + strings.Join(names, ".")
-		return act, class, inst, true
+		return act, class, inst, nil, true
 	}
 
 	// sel.X is the mutex expression itself.
 	class = lf.mutexClass(sum, sel.X)
 	inst = exprString(sel.X)
-	return act, class, inst, true
+	return act, class, inst, lf.syncVarObj(sel.X), true
+}
+
+// classifyCondCall decides whether call is a sync.Cond method call
+// (Wait, Signal, Broadcast) and resolves the cond's own field or
+// variable object so the condwait rule can join it with the NewCond
+// binding the concflow engine records.
+func (lf *lockFlow) classifyCondCall(call *ast.CallExpr) (kind string, obj types.Object, inst string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Wait", "Signal", "Broadcast":
+	default:
+		return "", nil, "", false
+	}
+	selection, hasSel := lf.ti.Info.Selections[sel]
+	if !hasSel || selection.Kind() != types.MethodVal {
+		return "", nil, "", false
+	}
+	fn, isFn := selection.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, "", false
+	}
+	if namedTypeName(lf.m.Path, selection.Recv()) != "sync.Cond" {
+		return "", nil, "", false // sync.WaitGroup.Wait and friends
+	}
+	return sel.Sel.Name, lf.syncVarObj(sel.X), exprString(sel.X), true
+}
+
+// syncVarObj resolves a sync-object expression (mutex, cond, wait
+// group) to the field or variable object it directly names, or nil for
+// anything more indirect.
+func (lf *lockFlow) syncVarObj(e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := lf.ti.Info.Selections[e]; ok && selection.Kind() == types.FieldVal {
+			return selection.Obj()
+		}
+		if v, ok := lf.ti.Info.Uses[e.Sel].(*types.Var); ok {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := lf.ti.Info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.StarExpr:
+		return lf.syncVarObj(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lf.syncVarObj(e.X)
+		}
+	}
+	return nil
+}
+
+// recordWrites registers plain stores to struct fields and
+// package-level variables (DEFINE bindings create new locals and are
+// filtered by the caller). Rules, not the engine, decide which targets
+// matter.
+func (w *flowWalker) recordWrites(lhs []ast.Expr, st held) {
+	for _, l := range lhs {
+		obj, fresh := w.writeTarget(l)
+		if obj == nil {
+			continue
+		}
+		w.sum.writes = append(w.sum.writes, writeEvent{
+			obj: obj, pos: l.Pos(), held: st.snapshot(), fresh: fresh,
+		})
+	}
+}
+
+// writeTarget resolves an lvalue to the struct field or package-level
+// variable it mutates, if any, and whether the base is a local still
+// private to this function. Indexed stores (s.items[k] = v) mutate the
+// container the field holds and are attributed to the field.
+func (w *flowWalker) writeTarget(l ast.Expr) (types.Object, bool) {
+	switch l := ast.Unparen(l).(type) {
+	case *ast.SelectorExpr:
+		selection, ok := w.lf.ti.Info.Selections[l]
+		if !ok || selection.Kind() != types.FieldVal {
+			// Package-qualified variable (pkg.v = x).
+			if v, ok := w.lf.ti.Info.Uses[l.Sel].(*types.Var); ok &&
+				v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v, false
+			}
+			return nil, false
+		}
+		field, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return nil, false
+		}
+		fresh := false
+		if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+			if obj := w.lf.ti.Info.Uses[id]; obj != nil && w.fresh[obj] {
+				fresh = true
+			}
+		}
+		return field, fresh
+	case *ast.Ident:
+		if l.Name == "_" {
+			return nil, false
+		}
+		if v, ok := w.lf.ti.Info.Uses[l].(*types.Var); ok &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v, false
+		}
+	case *ast.IndexExpr:
+		return w.writeTarget(l.X)
+	}
+	return nil, false
 }
 
 // mutexClass computes the type-level class key of a mutex expression.

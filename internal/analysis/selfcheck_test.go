@@ -34,6 +34,29 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 }
 
+// BenchmarkVet measures a full c4h-vet pass over this repository: one
+// load + type-check, then all four tiers' rules sharing the cached
+// call-graph, lock-flow, def-use, and concurrency engines. The bench
+// gate tracks its allocations, so an accidental per-tier reload — the
+// regression the shared Module exists to prevent — shows up as a step
+// change rather than slipping in as "lint got slower".
+func BenchmarkVet(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := LoadModule(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if diags := Run(m, DefaultRules()); len(diags) != 0 {
+			b.Fatalf("repository not clean: %d findings", len(diags))
+		}
+	}
+}
+
 // TestRuleMetadata pins rule IDs (allowlists and CI logs depend on
 // them) and requires every rule to document itself.
 func TestRuleMetadata(t *testing.T) {
@@ -41,6 +64,7 @@ func TestRuleMetadata(t *testing.T) {
 		"wallclock", "globalrand", "lockdiscipline", "layering", "goroleak",
 		"lockorder", "guardedfield", "mapiter", "chanhold",
 		"detflow", "guardescape", "errsink", "hotalloc",
+		"atomicmix", "spawnrace", "condwait", "arenaowner",
 	}
 	rules := DefaultRules()
 	if len(rules) != len(want) {

@@ -1,0 +1,52 @@
+// Arena references retained across mutation points: returned, parked
+// in a package variable, sent on a channel, stored into a foreign
+// struct, and captured by a goroutine.
+package fixture
+
+import "sync"
+
+type node struct {
+	key  int
+	next *node
+}
+
+type store struct {
+	mu sync.Mutex
+	// c4h:arena
+	root *node
+}
+
+type cache struct {
+	hot *node
+}
+
+var global *node
+
+func (s *store) tree() *node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root // want "via return"
+}
+
+func (s *store) leak() {
+	s.mu.Lock()
+	global = s.root // want "package-level variable"
+	s.mu.Unlock()
+}
+
+func (s *store) publish(ch chan *node, c *cache) {
+	s.mu.Lock()
+	n := s.root
+	s.mu.Unlock()
+	ch <- n // want "via channel send"
+	c.hot = n // want "struct field"
+}
+
+func (s *store) background() {
+	s.mu.Lock()
+	n := s.root
+	s.mu.Unlock()
+	go func() {
+		_ = n.key // want "spawned goroutine"
+	}()
+}

@@ -1,0 +1,49 @@
+// Legal arena borrows: references read under the lock, walked within
+// the critical section, passed to synchronous helpers, with only
+// copied values surviving the borrow.
+package fixture
+
+import "sync"
+
+type node struct {
+	key  int
+	next *node
+}
+
+type store struct {
+	mu sync.Mutex
+	// c4h:arena
+	root *node
+}
+
+func newStore() *store {
+	s := &store{}
+	s.root = &node{key: 1}
+	return s
+}
+
+func (s *store) lookup(k int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for n := s.root; n != nil; n = n.next {
+		if n.key == k {
+			return n.key, true
+		}
+	}
+	return 0, false
+}
+
+func (s *store) keys() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	out = appendKeys(out, s.root)
+	return out
+}
+
+func appendKeys(dst []int, n *node) []int {
+	for ; n != nil; n = n.next {
+		dst = append(dst, n.key)
+	}
+	return dst
+}

@@ -1,0 +1,31 @@
+// Mixed atomic/plain access: a cell updated through sync/atomic but
+// read (or overwritten) plainly elsewhere, and an atomic wrapper value
+// copied as plain data.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Int64
+	n    int64
+}
+
+var total int64
+
+func (c *counters) bump() {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.n, 1)
+	atomic.AddInt64(&total, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.n + total // want "c.n is accessed atomically" "total is accessed atomically"
+}
+
+func (c *counters) reset() {
+	c.hits = atomic.Int64{} // want "used as a plain value"
+}
+
+func snapshot(c *counters) atomic.Int64 {
+	return c.hits // want "used as a plain value"
+}

@@ -1,0 +1,33 @@
+// Disciplined atomics: every access to an atomic cell goes through
+// sync/atomic, wrappers are used via methods or passed by pointer, and
+// reading a *pointer* to a wrapper (nil checks) is not a cell access.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits atomic.Int64
+	n    int64
+}
+
+var total atomic.Int64
+
+func (c *counters) bump() {
+	c.hits.Add(1)
+	atomic.AddInt64(&c.n, 1)
+	total.Add(1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits.Load() + atomic.LoadInt64(&c.n) + total.Load()
+}
+
+func cancelled(stop *atomic.Bool) bool {
+	return stop != nil && stop.Load()
+}
+
+func run(c *counters) bool {
+	var stop atomic.Bool
+	c.bump()
+	return cancelled(&stop)
+}

@@ -1,0 +1,36 @@
+// sync.Cond misuse: Wait outside a predicate re-check loop, Wait
+// without the locker held, and a waited predicate mutated unlocked.
+package fixture
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) waitIf() {
+	q.mu.Lock()
+	if !q.ready {
+		q.cond.Wait() // want "not wrapped in a predicate re-check loop"
+	}
+	q.mu.Unlock()
+}
+
+func (q *queue) waitUnlocked() {
+	for !q.ready {
+		q.cond.Wait() // want "without holding its locker"
+	}
+}
+
+func (q *queue) setUnlocked() {
+	q.ready = true // want "written here without holding its locker"
+	q.cond.Signal()
+}

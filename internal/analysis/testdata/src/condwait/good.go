@@ -1,0 +1,45 @@
+// Disciplined sync.Cond use: Wait in a predicate loop under the
+// locker, predicates mutated under the locker — directly or in a
+// helper whose every call site holds it (the fooLocked convention).
+package fixture
+
+import "sync"
+
+type queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) take() {
+	q.mu.Lock()
+	for !q.ready {
+		q.cond.Wait()
+	}
+	q.ready = false
+	q.mu.Unlock()
+}
+
+func (q *queue) put() {
+	q.mu.Lock()
+	q.ready = true
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *queue) putLocked() {
+	q.ready = true
+	q.cond.Broadcast()
+}
+
+func (q *queue) putViaHelper() {
+	q.mu.Lock()
+	q.putLocked()
+	q.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+// Spawner/goroutine sharing with no happens-before edge: results
+// collected without waiting, and an error variable read before the
+// writer goroutine is joined.
+package fixture
+
+import "sync"
+
+func work() error { return nil }
+
+func collectNoJoin() int {
+	results := make([]int, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			results[i] = i * i
+		}()
+	}
+	return results[0] // want "no join or common lock"
+}
+
+func raceOnErr() error {
+	var firstErr error
+	done := make(chan struct{})
+	go func() {
+		if err := work(); err != nil {
+			firstErr = err
+		}
+		close(done)
+	}()
+	return firstErr // want "no join or common lock"
+}

@@ -1,0 +1,46 @@
+// Spawner/goroutine sharing with a proper happens-before edge: a
+// WaitGroup join, a channel-receive join, and a mutex held on both
+// sides of the shared access.
+package fixture
+
+import "sync"
+
+func collectJoined() int {
+	results := make([]int, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			results[i] = i * i
+		}()
+	}
+	wg.Wait()
+	return results[0]
+}
+
+func chanJoined() int {
+	var n int
+	done := make(chan struct{})
+	go func() {
+		n = 42
+		done <- struct{}{}
+	}()
+	<-done
+	return n
+}
+
+func lockShared() int {
+	var mu sync.Mutex
+	var n int
+	go func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+	}()
+	mu.Lock()
+	v := n
+	mu.Unlock()
+	return v
+}

@@ -28,8 +28,12 @@ import (
 //   - gen increments on every membership change; callers may use it to
 //     memoise derived state, though the router currently recomputes.
 type Arena struct {
-	mu        sync.RWMutex
-	members   *rbtree.Tree[Member]
+	mu sync.RWMutex
+	// members is the interned membership store. References into it (the
+	// tree or its nodes) are borrows: read under mu, pass down a call
+	// chain, never retain across a mutation point — c4h-vet's arenaowner
+	// rule enforces this annotation mechanically.
+	members   *rbtree.Tree[Member] // c4h:arena
 	gen       uint64
 	addrBytes int64
 }
