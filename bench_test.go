@@ -420,6 +420,43 @@ func BenchmarkCityScale(b *testing.B) {
 	b.ReportMetric(float64(sp.MaxHops), "superPeerMaxHops")
 }
 
+// BenchmarkFederation measures the federated-backend study: the
+// cost/latency frontier across three heterogeneous cloud backends under
+// the placement policies (pinned, cheapest, fastest, most-durable), plus
+// erasure coding matching whole-copy replication's availability under a
+// holder crash at lower storage overhead. The zero-config identity arm
+// must replay bit-identically with the extra backends attached.
+func BenchmarkFederation(b *testing.B) {
+	var last *experiments.FederationResult
+	cfg := experiments.DefaultFederation(benchSeed)
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFederation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatalf("zero-config run diverged: %s", res.Mismatch)
+		}
+		last = res
+	}
+	b.ReportMetric(1, "identical")
+	archive, _ := last.FrontierRowFor("pinned-backend:archive")
+	metro, _ := last.FrontierRowFor("pinned-backend:metro")
+	cheapest, _ := last.FrontierRowFor("cheapest-backend")
+	fastest, _ := last.FrontierRowFor("fastest-backend")
+	b.ReportMetric(archive.Fetch.Mean.Seconds(), "archiveFetch-s")
+	b.ReportMetric(metro.Fetch.Mean.Seconds(), "metroFetch-s")
+	b.ReportMetric(cheapest.StoreUSD*1e3, "cheapestStore-mUSD")
+	b.ReportMetric(fastest.Store.Mean.Seconds(), "fastestStore-s")
+	repl, _ := last.RedundancyRowFor("replicas=2")
+	ec, _ := last.RedundancyRowFor("erasure 3-of-5")
+	b.ReportMetric(repl.SuccessRate, "replSuccess-%")
+	b.ReportMetric(ec.SuccessRate, "erasureSuccess-%")
+	b.ReportMetric(repl.Overhead, "replOverhead-x")
+	b.ReportMetric(ec.Overhead, "erasureOverhead-x")
+	b.ReportMetric(float64(ec.Reconstructs), "reconstructs")
+}
+
 // BenchmarkAblationDataCache measures the dom0 object cache's hit path
 // against the remote miss and the local-fetch floor.
 func BenchmarkAblationDataCache(b *testing.B) {

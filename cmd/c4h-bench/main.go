@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale|availability|hotpath|cityscale] [-seed 2011]
+//	c4h-bench [-exp all|fig4|table1|fig5|fig6|split|fig7|fig8|ablations|scale|scaleup|computescale|availability|federation|hotpath|cityscale] [-seed 2011]
 //	          [-workers N] [-nodes 1000,10000,100000] [-regions 8]
 //	          [-cpuprofile f] [-memprofile f] [-trace f]
 //
@@ -34,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale, availability, hotpath)")
+		exp        = flag.String("exp", "all", "experiment to run (all, fig4, table1, fig5, fig6, split, fig7, fig8, ablations, scale, scaleup, computescale, availability, federation, hotpath)")
 		seed       = flag.Int64("seed", 2011, "simulation seed")
 		workers    = flag.Int("workers", 1, "host worker goroutines for scale-up sweeps (results identical at any count)")
 		nodes      = flag.String("nodes", "", "cityscale only: comma-separated node counts (default 1000,10000,100000)")
@@ -204,6 +204,19 @@ func run(exp string, seed int64, workers int, nodes string, regions int) error {
 			return err
 		}
 		printTable(res.Table())
+		ran = true
+	}
+	if want("federation") {
+		res, err := experiments.RunFederation(experiments.DefaultFederation(seed))
+		if err != nil {
+			return err
+		}
+		for _, t := range res.Tables() {
+			printTable(t)
+		}
+		if !res.Identical {
+			return fmt.Errorf("federation: zero-config run diverged: %s", res.Mismatch)
+		}
 		ran = true
 	}
 	if want("hotpath") {

@@ -186,6 +186,10 @@ func nodeCounters(addr string) error {
 			fmt.Printf(" retries=%d repaired=%d replicasRestored=%d",
 				n.FetchRetries, n.ObjectsRepaired, n.ReplicasRestored)
 		}
+		if n.CloudProbes > 0 || n.ShardsPlaced > 0 || n.ShardsRestored > 0 || n.ShardReconstructs > 0 {
+			fmt.Printf(" cloudProbes=%d shardsPlaced/restored=%d/%d reconstructs=%d",
+				n.CloudProbes, n.ShardsPlaced, n.ShardsRestored, n.ShardReconstructs)
+		}
 		// Per-tier hop split: kvHops counts every routing hop the node's kv
 		// operations took; superHops the subset that landed on a regional
 		// aggregator, so kvHops-superHops is the home-tier remainder.

@@ -36,6 +36,7 @@ var layerDAG = map[string][]string{
 	"internal/trace":    {},
 	"internal/parallel": {},
 	"internal/detrand":  {},
+	"internal/erasure":  {},
 
 	// Self-contained subsystems over the leaves.
 	"internal/rbtree":   {"internal/ids"},
@@ -63,11 +64,11 @@ var layerDAG = map[string][]string{
 	// only daemon/cluster/experiments (and cmd) may see core. In
 	// particular overlay, kv, and xenchan must never import core.
 	"internal/core": {
-		"internal/cloudsim", "internal/command", "internal/ids",
-		"internal/kv", "internal/machine", "internal/monitor",
-		"internal/netsim", "internal/objstore", "internal/overlay",
-		"internal/parallel", "internal/policy", "internal/services",
-		"internal/vclock", "internal/xenchan",
+		"internal/cloudsim", "internal/command", "internal/erasure",
+		"internal/ids", "internal/kv", "internal/machine",
+		"internal/monitor", "internal/netsim", "internal/objstore",
+		"internal/overlay", "internal/parallel", "internal/policy",
+		"internal/services", "internal/vclock", "internal/xenchan",
 	},
 	"internal/daemon": {"internal/command", "internal/core"},
 	"internal/cluster": {

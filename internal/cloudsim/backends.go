@@ -1,0 +1,84 @@
+package cloudsim
+
+import (
+	"time"
+
+	"cloud4home/internal/netsim"
+)
+
+// Preset backend profiles. S3Profile reproduces the paper's calibrated
+// testbed; the others are heterogeneous points on the cost/latency/
+// durability frontier (2011-era list prices) for federation studies:
+// a cold archive tier (cheap storage, slow and expensive to read) and a
+// metro edge store (fast and close, but pricey and less durable).
+
+// S3Profile is the default backend: the paper's S3 clone, with the
+// netsim WAN calibration and Amazon's 2011 list prices (≈$0.14/GB-month
+// storage, $0.10/GB in, $0.15/GB out, $0.01 per 1k requests, eleven
+// nines of durability).
+func S3Profile() BackendProfile {
+	return BackendProfile{
+		Name:            "s3",
+		Bucket:          Bucket,
+		DownBps:         netsim.WANDownBps,
+		UpBps:           netsim.WANUpBps,
+		RTT:             netsim.WANRTT,
+		Setup:           netsim.WANSetup,
+		Jitter:          netsim.WANJitter,
+		InitWindow:      netsim.S3InitWindow,
+		MaxWindow:       netsim.S3MaxWindow,
+		ShapingAfter:    netsim.ShapingAfter,
+		ShapingFactor:   netsim.ShapingFactor,
+		StorePerGBMonth: 0.14,
+		PutPerGB:        0.10,
+		GetPerGB:        0.15,
+		PerRequest:      0.00001,
+		Durability:      0.99999999999,
+	}
+}
+
+// ArchiveProfile is a cold-storage tier: the cheapest place to keep
+// bytes and the most durable, but with a long first-byte delay, the
+// slowest pipes, and egress priced to discourage reads.
+func ArchiveProfile() BackendProfile {
+	return BackendProfile{
+		Name:            "archive",
+		Bucket:          "varchive",
+		DownBps:         0.9e6,
+		UpBps:           0.55e6,
+		RTT:             260 * time.Millisecond,
+		Setup:           5 * time.Second,
+		Jitter:          0.30,
+		InitWindow:      netsim.S3InitWindow,
+		MaxWindow:       netsim.S3MaxWindow,
+		ShapingAfter:    netsim.ShapingAfter,
+		ShapingFactor:   netsim.ShapingFactor,
+		StorePerGBMonth: 0.03,
+		PutPerGB:        0.05,
+		GetPerGB:        0.30,
+		PerRequest:      0.0005,
+		Durability:      0.999999999999,
+	}
+}
+
+// MetroProfile is a metro-area edge store: low latency and fat pipes
+// (no ISP shaping on the short haul), at a premium price and with fewer
+// durability nines than the hyperscalers.
+func MetroProfile() BackendProfile {
+	return BackendProfile{
+		Name:            "metro",
+		Bucket:          "vmetro",
+		DownBps:         5.2e6,
+		UpBps:           2.6e6,
+		RTT:             45 * time.Millisecond,
+		Setup:           400 * time.Millisecond,
+		Jitter:          0.08,
+		InitWindow:      64 << 10,
+		MaxWindow:       4 << 20,
+		StorePerGBMonth: 0.45,
+		PutPerGB:        0.12,
+		GetPerGB:        0.25,
+		PerRequest:      0.00002,
+		Durability:      0.99999,
+	}
+}

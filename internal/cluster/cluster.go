@@ -82,6 +82,13 @@ type Options struct {
 	// Faults configures the fault-tolerance layer on every node; the zero
 	// value keeps the paper's fail-on-loss behaviour.
 	Faults core.FaultConfig
+	// Federation configures policy-driven cloud placement and erasure-
+	// coded home-tier redundancy on every node; the zero value keeps the
+	// single-backend, whole-copy behaviour.
+	Federation core.FederationConfig
+	// Backends attaches extra federated storage backends (beyond the
+	// default S3 clone) built from these profiles, in order.
+	Backends []cloudsim.BackendProfile
 	// Perf gates the hot-path performance work (allocation-free data
 	// plane, sharded event loop); the zero value keeps the previous
 	// behaviour bit-for-bit.
@@ -115,6 +122,9 @@ func New(opts Options) (*Testbed, error) {
 		tb.Home = core.NewHome(tb.V, core.HomeOptions{Seed: opts.Seed, KV: kvOpts, Perf: opts.Perf, Scale: opts.Scale})
 		tb.Cloud = cloudsim.New(tb.V, tb.Home.Net())
 		tb.Home.AttachCloud(tb.Cloud)
+		for _, prof := range opts.Backends {
+			tb.Home.AttachBackend(cloudsim.NewRemote(tb.V, tb.Home.Net(), prof))
+		}
 		for i := 0; i < opts.Netbooks; i++ {
 			var n *core.Node
 			n, err = tb.Home.AddNode(tb.NetbookConfig(i))
@@ -131,6 +141,7 @@ func New(opts Options) (*Testbed, error) {
 			DataPlane:      opts.DataPlane,
 			ComputePlane:   opts.ComputePlane,
 			Faults:         opts.Faults,
+			Federation:     opts.Federation,
 		})
 		if err != nil {
 			return
@@ -157,6 +168,7 @@ func (tb *Testbed) NetbookConfig(i int) core.NodeConfig {
 		DataPlane:      tb.opts.DataPlane,
 		ComputePlane:   tb.opts.ComputePlane,
 		Faults:         tb.opts.Faults,
+		Federation:     tb.opts.Federation,
 	}
 }
 

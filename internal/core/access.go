@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cloud4home/internal/kv"
+	"cloud4home/internal/netsim"
 	"cloud4home/internal/objstore"
 )
 
@@ -118,12 +119,12 @@ func (s *Session) DeleteObject(name string) error {
 	}
 	switch {
 	case meta.InCloud():
-		cloud := s.node.home.Cloud()
-		if cloud == nil {
-			return ErrNoCloud
+		cloud, err := s.node.home.backendFor(meta.Backend)
+		if err != nil {
+			return err
 		}
 		// A small delete request crosses the WAN.
-		s.node.home.net.Message(wanUpPathFor(s.node, cloud))
+		s.node.home.net.Message(netsim.WANUpPath(s.node.nic, cloud.UpPipe()))
 		if err := cloud.Delete(meta.Name); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 			return err
 		}
@@ -137,6 +138,19 @@ func (s *Session) DeleteObject(name string) error {
 			s.node.home.net.Message(s.node.lanPathTo(holder))
 		}
 		if err := holder.store.Delete(meta.Name); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+			return err
+		}
+	}
+	// Coded shards go too (best effort, like replicas below).
+	for _, sref := range meta.Shards {
+		rep, ok := s.node.home.Node(sref.Addr)
+		if !ok {
+			continue
+		}
+		if rep != s.node {
+			s.node.home.net.Message(s.node.lanPathTo(rep))
+		}
+		if err := rep.store.Delete(shardName(meta.Name, sref.Index)); err != nil && !errors.Is(err, objstore.ErrNotFound) {
 			return err
 		}
 	}

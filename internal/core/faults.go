@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"cloud4home/internal/cloudsim"
 	"cloud4home/internal/netsim"
 )
 
@@ -30,8 +29,10 @@ type FaultConfig struct {
 }
 
 // fetchViaFallback is the retry ladder a fetch takes when its holder is
-// gone or died mid-transfer: surviving payload replicas → dom0 cache →
-// remote cloud. Failed attempts charge their modeled cost into
+// gone or died mid-transfer: surviving payload replicas → erasure-coded
+// shard reconstruction → dom0 cache → remote cloud (probed with a
+// charged Stat HEAD, never the free Has oracle). Failed attempts charge
+// their modeled cost into
 // bd.Retries; the successful rung's wire time lands in bd.InterNode as
 // usual. A non-nil sink receives the payload through the guest channel so
 // pipelined accounting stays consistent across retries. cacheChecked
@@ -83,7 +84,15 @@ func (n *Node) fetchViaFallback(meta ObjectMeta, sink *domainSink, bd *FetchBrea
 		return data, peer.addr, nil
 	}
 
-	// Rung 2: the dom0 cache answers at local latency.
+	// Rung 2: reconstruct from erasure-coded shards, when the object was
+	// stored under a k-of-n FederationConfig.
+	if meta.ErasureK > 0 {
+		if data, src, ok := n.fetchShards(meta, sink, bd); ok {
+			return data, src, nil
+		}
+	}
+
+	// Rung 3: the dom0 cache answers at local latency.
 	if !cacheChecked {
 		if data, hit := n.cacheGet(meta); hit {
 			if sink != nil && meta.Size > 0 {
@@ -93,18 +102,26 @@ func (n *Node) fetchViaFallback(meta ObjectMeta, sink *domainSink, bd *FetchBrea
 		}
 	}
 
-	// Rung 3: the remote cloud, when it holds a copy.
-	if cloud := n.home.Cloud(); cloud != nil && cloud.Has(meta.Name) {
-		attempt := n.clock.Now()
-		_, data, d, err := cloud.FetchObject(n.nic, meta.Name)
-		if err == nil {
-			if sink != nil && meta.Size > 0 {
-				sink.onChunk(meta.Size)
+	// Rung 4: the remote cloud. Whether it holds a copy is not knowable
+	// for free — a real S3 endpoint answers nothing without a round trip —
+	// so the probe is a charged Stat HEAD request whose cost lands in
+	// bd.Retries either way (it is ladder overhead, not useful transfer).
+	if cloud, err := n.home.backendFor(meta.Backend); err == nil {
+		probe := n.clock.Now()
+		has := n.cloudProbe(cloud, meta.Name)
+		bd.Retries += n.clock.Now().Sub(probe)
+		if has {
+			attempt := n.clock.Now()
+			_, data, d, err := cloud.FetchObject(n.nic, meta.Name)
+			if err == nil {
+				if sink != nil && meta.Size > 0 {
+					sink.onChunk(meta.Size)
+				}
+				bd.InterNode += d
+				return data, cloud.URL(meta.Name), nil
 			}
-			bd.InterNode += d
-			return data, cloudsim.URL(meta.Name), nil
+			bd.Retries += n.clock.Now().Sub(attempt)
 		}
-		bd.Retries += n.clock.Now().Sub(attempt)
 	}
 
 	return nil, "", fmt.Errorf("%w: %q (no surviving copy)", ErrObjectNotFound, meta.Name)
@@ -143,9 +160,24 @@ func (h *Home) payloadRepairAfterCrash(dead string) {
 // configured DataReplicas count from its local copy, and rewrites the
 // object's metadata.
 func (n *Node) repairPayloads(dead string) {
+	repairedParents := map[string]bool{}
 	for _, name := range n.store.List() {
+		// Coded shards route to the erasure repair path via their parent;
+		// shard names never occur under a zero FederationConfig.
+		if parent, _, isShard := parseShardName(name); isShard {
+			if !repairedParents[parent] {
+				repairedParents[parent] = true
+				n.repairShards(parent, dead)
+			}
+			continue
+		}
 		meta, _, err := n.getMeta(name)
 		if err != nil || meta.InCloud() {
+			continue
+		}
+		if meta.ErasureK > 0 {
+			// This node is the erasure primary; restore missing shards.
+			n.repairShards(name, dead)
 			continue
 		}
 		holders := append([]string{meta.Location}, meta.Replicas...)

@@ -120,9 +120,9 @@ func (n *Node) fetchToDom0(name, principal string, sink *domainSink) (ObjectMeta
 
 	switch {
 	case meta.InCloud():
-		cloud := n.home.Cloud()
-		if cloud == nil {
-			return meta, nil, "", bd, ErrNoCloud
+		cloud, err := n.home.backendFor(meta.Backend)
+		if err != nil {
+			return meta, nil, "", bd, err
 		}
 		_, data, d, err := cloud.FetchObject(n.nic, name)
 		bd.InterNode = d
@@ -287,9 +287,9 @@ func (n *Node) finishFallback(meta ObjectMeta, sink *domainSink, bd FetchBreakdo
 // inter-home link.
 func (n *Node) fetchFederated(peerHome *Home, meta ObjectMeta) ([]byte, string, time.Duration, error) {
 	if meta.InCloud() {
-		cloud := peerHome.Cloud()
-		if cloud == nil {
-			return nil, "", 0, ErrNoCloud
+		cloud, err := peerHome.backendFor(meta.Backend)
+		if err != nil {
+			return nil, "", 0, err
 		}
 		_, data, d, err := cloud.FetchObject(n.nic, meta.Name)
 		return data, meta.Location, d, err

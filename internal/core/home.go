@@ -69,6 +69,10 @@ type Home struct {
 	kv     *kv.Store
 	fabric *netsim.Resource
 	cloud  *cloudsim.Cloud
+	// backends is the federated backend roster in attachment order; the
+	// default cloud is always entry 0 once attached. Policies index into
+	// this order, so it must be stable for a run.
+	backends []cloudsim.Backend // guarded by mu
 
 	mu    sync.RWMutex
 	nodes map[string]*Node
@@ -159,11 +163,69 @@ func (h *Home) Cloud() *cloudsim.Cloud {
 }
 
 // AttachCloud connects the home to a remote public cloud. Nodes flagged
-// as gateways route all remote interactions (§III-C).
+// as gateways route all remote interactions (§III-C). The cloud becomes
+// the first entry of the federated backend roster.
 func (h *Home) AttachCloud(c *cloudsim.Cloud) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.cloud = c
+	if c == nil {
+		return
+	}
+	for i, b := range h.backends {
+		if b.Name() == c.Name() {
+			h.backends[i] = c
+			return
+		}
+	}
+	// Default cloud leads the roster so index 0 stays the historical
+	// backend even when extras were attached first.
+	h.backends = append([]cloudsim.Backend{c}, h.backends...)
+}
+
+// AttachBackend adds a federated storage backend to the roster. The
+// attachment order is the policy-visible order (after the default
+// cloud); attaching a backend with an existing name replaces it.
+func (h *Home) AttachBackend(b cloudsim.Backend) {
+	if b == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, old := range h.backends {
+		if old.Name() == b.Name() {
+			h.backends[i] = b
+			return
+		}
+	}
+	h.backends = append(h.backends, b)
+}
+
+// Backends returns the federated backend roster in attachment order
+// (default cloud first).
+func (h *Home) Backends() []cloudsim.Backend {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return append([]cloudsim.Backend(nil), h.backends...)
+}
+
+// backendFor resolves a metadata Backend field to a roster entry. The
+// empty name is the default cloud — every record written under a zero
+// FederationConfig resolves there, preserving pre-federation behaviour.
+func (h *Home) backendFor(name string) (cloudsim.Backend, error) {
+	if name == "" {
+		c := h.Cloud()
+		if c == nil {
+			return nil, ErrNoCloud
+		}
+		return c, nil
+	}
+	for _, b := range h.Backends() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("core: backend %q not attached: %w", name, ErrNoCloud)
 }
 
 // Node returns a live node by address.

@@ -34,6 +34,27 @@ type ObjectMeta struct {
 	// ACL lists additional principals allowed to access the object
 	// ("*" = everyone). Only meaningful when Owner is set.
 	ACL []string `json:"acl,omitempty"`
+	// Backend names the cloud backend holding a remote object when the
+	// home federates several; empty means the default attached cloud
+	// (and is always empty under a zero FederationConfig).
+	Backend string `json:"backend,omitempty"`
+	// ErasureK/ErasureN record k-of-n shard coding when the home tier's
+	// redundancy is coded shards instead of whole-object Replicas; both
+	// zero for replicated or unprotected objects.
+	ErasureK int `json:"erasure_k,omitempty"`
+	ErasureN int `json:"erasure_n,omitempty"`
+	// Shards lists the coded-shard holders: each entry binds a shard
+	// index to the home node storing it. Any ErasureK of them rebuild
+	// the payload. The primary (Location) holds the whole object and is
+	// never a shard holder.
+	Shards []ShardRef `json:"shards,omitempty"`
+}
+
+// ShardRef is one coded shard's placement: its index in the k-of-n code
+// and the address of the home node holding it.
+type ShardRef struct {
+	Index int    `json:"i"`
+	Addr  string `json:"addr"`
 }
 
 // Key returns the object's DHT key.

@@ -68,6 +68,10 @@ type NodeConfig struct {
 	// post-crash payload re-replication); the zero value is the paper's
 	// fail-on-holder-loss behaviour.
 	Faults FaultConfig
+	// Federation enables policy-driven placement across several cloud
+	// backends and erasure-coded home-tier redundancy; the zero value is
+	// the single-backend, whole-copy behaviour.
+	Federation FederationConfig
 }
 
 func (c *NodeConfig) applyDefaults() {
@@ -126,6 +130,9 @@ func (h *Home) AddNode(cfg NodeConfig) (*Node, error) {
 		return nil, errors.New("core: node needs an address")
 	}
 	if err := cfg.Channel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Federation.validate(); err != nil {
 		return nil, err
 	}
 	mach, err := machine.New(cfg.Machine, h.clock)
@@ -344,6 +351,17 @@ func (n *Node) shutdown(graceful bool) error {
 // are left behind (best effort), exactly as a full home cloud would.
 func (n *Node) evacuate() {
 	for _, name := range n.store.List() {
+		if _, _, isShard := parseShardName(name); isShard {
+			// Coded shards move individually, updating the parent's shard
+			// reference; ones that fit nowhere are left behind and repair
+			// (or the k-of-n code itself) absorbs the loss.
+			if n.evacuateShard(name) {
+				if err := n.store.Delete(name); err != nil && !errors.Is(err, objstore.ErrNotFound) {
+					continue
+				}
+			}
+			continue
+		}
 		obj, _, err := n.store.Stat(name)
 		if err != nil {
 			continue
@@ -368,7 +386,17 @@ func (n *Node) evacuate() {
 		if best != nil {
 			n.home.net.Transfer(n.lanPathTo(best), obj.Size)
 			if err := best.store.Put(objstore.Voluntary, obj, data); err == nil {
-				if err := n.putMeta(metaFromObject(obj, best.addr, objstore.Voluntary)); err == nil {
+				meta := metaFromObject(obj, best.addr, objstore.Voluntary)
+				if n.cfg.Federation.erasureOn() {
+					// A relocated erasure primary keeps its shard set; the
+					// extra lookup is gated so zero-config evacuation timing
+					// is untouched.
+					if old, _, err := n.getMeta(name); err == nil && old.ErasureK > 0 {
+						meta.ErasureK, meta.ErasureN = old.ErasureK, old.ErasureN
+						meta.Shards = old.Shards
+					}
+				}
+				if err := n.putMeta(meta); err == nil {
 					moved = true
 				}
 			}

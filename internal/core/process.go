@@ -398,14 +398,15 @@ func (n *Node) moveInput(meta ObjectMeta, target string) ([]byte, time.Duration,
 	case meta.InCloud() && targetCloud:
 		return nil, 0, nil // both sides in the cloud
 	case meta.InCloud():
-		if cloud == nil {
-			return nil, 0, ErrNoCloud
+		backend, err := n.home.backendFor(meta.Backend)
+		if err != nil {
+			return nil, 0, err
 		}
 		dst := n.nic
 		if t, ok := n.home.Node(target); ok {
 			dst = t.nic
 		}
-		_, data, d, err := cloud.FetchObject(dst, meta.Name)
+		_, data, d, err := backend.FetchObject(dst, meta.Name)
 		return data, d, err
 	case targetCloud:
 		if cloud == nil {
@@ -413,9 +414,10 @@ func (n *Node) moveInput(meta ObjectMeta, target string) ([]byte, time.Duration,
 		}
 		holder, ok := n.home.Node(meta.Location)
 		if n.cfg.Faults.Fallback && (!ok || !holder.store.Has(meta.Name)) {
-			if cloud.Has(meta.Name) {
+			if n.cloudProbe(cloud, meta.Name) {
 				// The cloud already holds a copy: input and target are
-				// co-located, no move needed.
+				// co-located, no move needed (the probe's HEAD round trip
+				// was charged on the wire).
 				n.ops.fetchRetries.Add(1)
 				return nil, 0, nil
 			}
@@ -441,9 +443,9 @@ func (n *Node) moveInput(meta ObjectMeta, target string) ([]byte, time.Duration,
 			if s, live := n.survivingHolder(meta); live {
 				n.ops.fetchRetries.Add(1)
 				holder, ok1 = s, true
-			} else if cloud != nil && cloud.Has(meta.Name) {
+			} else if cloud != nil && n.cloudProbe(cloud, meta.Name) {
 				// Last rung: pull the input down from the cloud straight to
-				// the target.
+				// the target (after the probe's charged HEAD round trip).
 				n.ops.fetchRetries.Add(1)
 				_, data, d, err := cloud.FetchObject(tgt.nic, meta.Name)
 				return data, d, err

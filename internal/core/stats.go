@@ -40,6 +40,20 @@ type OpStats struct {
 	// FaultConfig.Repair is off.
 	ObjectsRepaired  int64
 	ReplicasRestored int64
+	// CloudProbes counts charged HEAD round trips (Cloud.Stat) this node
+	// issued asking a backend whether it holds an object — the fallback
+	// ladder's cloud rung and the process path's input-move substitute.
+	// Each one burned real modeled WAN time; the free Has oracle is
+	// never consulted on the data path.
+	CloudProbes int64
+	// ShardsPlaced counts erasure-coded shards this node pushed at store
+	// time; ShardsRestored counts shards re-placed during post-crash
+	// repair; ShardReconstructs counts payload rebuilds from k shards on
+	// the fetch/repair path. All stay zero unless FederationConfig
+	// enables erasure coding.
+	ShardsPlaced      int64
+	ShardsRestored    int64
+	ShardReconstructs int64
 	// AsyncPlaceDrops counts non-blocking stores whose background
 	// placement failed — the object was accepted into dom0 but never
 	// reached stable storage (the prototype's degrade-to-drop path).
@@ -82,9 +96,13 @@ type opCounters struct {
 	specLaunches     atomic.Int64
 	specWins         atomic.Int64
 	specCancels      atomic.Int64
-	fetchRetries     atomic.Int64
-	objectsRepaired  atomic.Int64
-	replicasRestored atomic.Int64
+	fetchRetries      atomic.Int64
+	objectsRepaired   atomic.Int64
+	replicasRestored  atomic.Int64
+	cloudProbes       atomic.Int64
+	shardsPlaced      atomic.Int64
+	shardsRestored    atomic.Int64
+	shardReconstructs atomic.Int64
 	asyncPlaceDrops  atomic.Int64
 	federatedProbes  atomic.Int64
 	coalescedFetches atomic.Int64
@@ -108,9 +126,13 @@ func (c *opCounters) snapshot() OpStats {
 		SpecWins:       c.specWins.Load(),
 		SpecCancels:    c.specCancels.Load(),
 
-		FetchRetries:     c.fetchRetries.Load(),
-		ObjectsRepaired:  c.objectsRepaired.Load(),
-		ReplicasRestored: c.replicasRestored.Load(),
+		FetchRetries:      c.fetchRetries.Load(),
+		ObjectsRepaired:   c.objectsRepaired.Load(),
+		ReplicasRestored:  c.replicasRestored.Load(),
+		CloudProbes:       c.cloudProbes.Load(),
+		ShardsPlaced:      c.shardsPlaced.Load(),
+		ShardsRestored:    c.shardsRestored.Load(),
+		ShardReconstructs: c.shardReconstructs.Load(),
 		AsyncPlaceDrops:  c.asyncPlaceDrops.Load(),
 		FederatedProbes:  c.federatedProbes.Load(),
 		CoalescedFetches: c.coalescedFetches.Load(),

@@ -170,7 +170,7 @@ func (n *Node) placeAt(obj objstore.Object, data []byte, d policy.StoreDecision)
 			return "", err
 		}
 		meta := metaFromObject(obj, n.addr, objstore.Mandatory)
-		meta.Replicas = n.replicateData(obj, data, n.addr)
+		n.addRedundancy(&meta, obj, data, n.addr)
 		if err := n.putMeta(meta); err != nil {
 			return "", err
 		}
@@ -188,22 +188,24 @@ func (n *Node) placeAt(obj objstore.Object, data []byte, d policy.StoreDecision)
 		}
 		n.home.net.Message(n.lanPathTo(peer))
 		meta := metaFromObject(obj, peer.addr, objstore.Voluntary)
-		meta.Replicas = n.replicateData(obj, data, peer.addr)
+		n.addRedundancy(&meta, obj, data, peer.addr)
 		if err := n.putMeta(meta); err != nil {
 			return "", err
 		}
 		return peer.addr, nil
 
 	case policy.TargetCloud:
-		cloud := n.home.Cloud()
-		if cloud == nil {
-			return "", ErrNoCloud
-		}
-		url, _, err := cloud.StoreObject(n.nic, obj, data)
+		backend, record, err := n.cloudBackend(obj)
 		if err != nil {
 			return "", err
 		}
-		if err := n.putMeta(metaFromObject(obj, url, 0)); err != nil {
+		url, _, err := backend.StoreObject(n.nic, obj, data)
+		if err != nil {
+			return "", err
+		}
+		meta := metaFromObject(obj, url, 0)
+		meta.Backend = record
+		if err := n.putMeta(meta); err != nil {
 			return "", err
 		}
 		return url, nil

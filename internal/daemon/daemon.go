@@ -212,6 +212,12 @@ type nodeStats struct {
 	FetchRetries     int64 `json:"fetchRetries,omitempty"`
 	ObjectsRepaired  int64 `json:"objectsRepaired,omitempty"`
 	ReplicasRestored int64 `json:"replicasRestored,omitempty"`
+	// Federation counters (zero unless FederationConfig enables charged
+	// cloud probes and erasure-coded redundancy).
+	CloudProbes       int64 `json:"cloudProbes,omitempty"`
+	ShardsPlaced      int64 `json:"shardsPlaced,omitempty"`
+	ShardsRestored    int64 `json:"shardsRestored,omitempty"`
+	ShardReconstructs int64 `json:"shardReconstructs,omitempty"`
 	// City-scale counters: total metadata-routing hops, the super-peer
 	// subset (zero unless ScaleConfig enables the aggregation tier), and
 	// the shared membership arena gauge (zero unless CompactMembership).
@@ -321,26 +327,30 @@ func (s *Server) dispatch(conn net.Conn, pkt *command.Packet) error {
 		for _, n := range s.home.Nodes() {
 			ops := n.OpStats()
 			out.Nodes = append(out.Nodes, nodeStats{
-				Addr:             n.Addr(),
-				Stores:           ops.Stores,
-				Fetches:          ops.Fetches,
-				Processes:        ops.Processes,
-				Deletes:          ops.Deletes,
-				BytesStored:      ops.BytesStored,
-				BytesFetched:     ops.BytesFetched,
-				CPULoad:          n.Machine().Load(),
-				MemFreeMB:        n.Machine().MemFreeMB(),
-				ShardsExecuted:   ops.ShardsExecuted,
-				OverlapSavedMS:   ops.OverlapSaved.Milliseconds(),
-				SpecLaunches:     ops.SpecLaunches,
-				SpecWins:         ops.SpecWins,
-				SpecCancels:      ops.SpecCancels,
-				FetchRetries:     ops.FetchRetries,
-				ObjectsRepaired:  ops.ObjectsRepaired,
-				ReplicasRestored: ops.ReplicasRestored,
-				KVHops:           ops.KVHops,
-				SuperPeerHops:    ops.SuperPeerHops,
-				ArenaBytes:       ops.ArenaBytes,
+				Addr:              n.Addr(),
+				Stores:            ops.Stores,
+				Fetches:           ops.Fetches,
+				Processes:         ops.Processes,
+				Deletes:           ops.Deletes,
+				BytesStored:       ops.BytesStored,
+				BytesFetched:      ops.BytesFetched,
+				CPULoad:           n.Machine().Load(),
+				MemFreeMB:         n.Machine().MemFreeMB(),
+				ShardsExecuted:    ops.ShardsExecuted,
+				OverlapSavedMS:    ops.OverlapSaved.Milliseconds(),
+				SpecLaunches:      ops.SpecLaunches,
+				SpecWins:          ops.SpecWins,
+				SpecCancels:       ops.SpecCancels,
+				FetchRetries:      ops.FetchRetries,
+				ObjectsRepaired:   ops.ObjectsRepaired,
+				ReplicasRestored:  ops.ReplicasRestored,
+				CloudProbes:       ops.CloudProbes,
+				ShardsPlaced:      ops.ShardsPlaced,
+				ShardsRestored:    ops.ShardsRestored,
+				ShardReconstructs: ops.ShardReconstructs,
+				KVHops:            ops.KVHops,
+				SuperPeerHops:     ops.SuperPeerHops,
+				ArenaBytes:        ops.ArenaBytes,
 			})
 		}
 		return s.writeJSON(conn, command.TypeResourceUpdate, out, nil)
@@ -571,6 +581,11 @@ type NodeStats struct {
 	FetchRetries     int64
 	ObjectsRepaired  int64
 	ReplicasRestored int64
+	// Federation counters; zero while FederationConfig is the zero value.
+	CloudProbes       int64
+	ShardsPlaced      int64
+	ShardsRestored    int64
+	ShardReconstructs int64
 	// City-scale counters; KVHops is the node's total metadata-routing
 	// hops, SuperPeerHops the aggregator-tier subset, ArenaBytes the
 	// shared membership arena gauge (whole-mesh).
@@ -592,26 +607,30 @@ func (c *Client) Stats() ([]NodeStats, error) {
 	out := make([]NodeStats, len(body.Nodes))
 	for i, n := range body.Nodes {
 		out[i] = NodeStats{
-			Addr:             n.Addr,
-			Stores:           n.Stores,
-			Fetches:          n.Fetches,
-			Processes:        n.Processes,
-			Deletes:          n.Deletes,
-			BytesStored:      n.BytesStored,
-			BytesFetched:     n.BytesFetched,
-			CPULoad:          n.CPULoad,
-			MemFreeMB:        n.MemFreeMB,
-			ShardsExecuted:   n.ShardsExecuted,
-			OverlapSaved:     time.Duration(n.OverlapSavedMS) * time.Millisecond,
-			SpecLaunches:     n.SpecLaunches,
-			SpecWins:         n.SpecWins,
-			SpecCancels:      n.SpecCancels,
-			FetchRetries:     n.FetchRetries,
-			ObjectsRepaired:  n.ObjectsRepaired,
-			ReplicasRestored: n.ReplicasRestored,
-			KVHops:           n.KVHops,
-			SuperPeerHops:    n.SuperPeerHops,
-			ArenaBytes:       n.ArenaBytes,
+			Addr:              n.Addr,
+			Stores:            n.Stores,
+			Fetches:           n.Fetches,
+			Processes:         n.Processes,
+			Deletes:           n.Deletes,
+			BytesStored:       n.BytesStored,
+			BytesFetched:      n.BytesFetched,
+			CPULoad:           n.CPULoad,
+			MemFreeMB:         n.MemFreeMB,
+			ShardsExecuted:    n.ShardsExecuted,
+			OverlapSaved:      time.Duration(n.OverlapSavedMS) * time.Millisecond,
+			SpecLaunches:      n.SpecLaunches,
+			SpecWins:          n.SpecWins,
+			SpecCancels:       n.SpecCancels,
+			FetchRetries:      n.FetchRetries,
+			ObjectsRepaired:   n.ObjectsRepaired,
+			ReplicasRestored:  n.ReplicasRestored,
+			CloudProbes:       n.CloudProbes,
+			ShardsPlaced:      n.ShardsPlaced,
+			ShardsRestored:    n.ShardsRestored,
+			ShardReconstructs: n.ShardReconstructs,
+			KVHops:            n.KVHops,
+			SuperPeerHops:     n.SuperPeerHops,
+			ArenaBytes:        n.ArenaBytes,
 		}
 	}
 	return out, nil

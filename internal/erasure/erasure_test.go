@@ -1,0 +1,135 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestParamValidation(t *testing.T) {
+	cases := []struct{ k, n int }{{0, 2}, {-1, 3}, {3, 3}, {4, 2}, {2, 256}}
+	for _, c := range cases {
+		if _, err := Encode([]byte("x"), c.k, c.n); err == nil {
+			t.Errorf("Encode(k=%d,n=%d) accepted invalid params", c.k, c.n)
+		}
+		if _, err := Reconstruct([]int{0, 1}, [][]byte{{0}, {0}}, c.k, c.n, 1); err == nil {
+			t.Errorf("Reconstruct(k=%d,n=%d) accepted invalid params", c.k, c.n)
+		}
+	}
+}
+
+func TestShardSize(t *testing.T) {
+	if got := ShardSize(10, 3); got != 4 {
+		t.Fatalf("ShardSize(10,3) = %d, want 4", got)
+	}
+	if got := ShardSize(9, 3); got != 3 {
+		t.Fatalf("ShardSize(9,3) = %d, want 3", got)
+	}
+	if got := ShardSize(0, 3); got != 0 {
+		t.Fatalf("ShardSize(0,3) = %d, want 0", got)
+	}
+}
+
+func TestSystematicPrefix(t *testing.T) {
+	data := []byte("0123456789abcdef")
+	shards, err := Encode(data, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joined []byte
+	for i := 0; i < 4; i++ {
+		joined = append(joined, shards[i]...)
+	}
+	if !bytes.Equal(joined[:len(data)], data) {
+		t.Fatalf("data shards are not a systematic prefix: %q", joined)
+	}
+}
+
+// TestRoundTripAllSubsets exhaustively checks every k-subset of shards
+// reconstructs the exact payload for several (k, n) pairs and sizes,
+// including sizes that do not divide evenly by k.
+func TestRoundTripAllSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	params := []struct{ k, n int }{{1, 2}, {2, 3}, {3, 5}, {4, 7}, {5, 8}}
+	sizes := []int{1, 7, 64, 1000, 4096}
+	for _, p := range params {
+		for _, size := range sizes {
+			data := make([]byte, size)
+			rng.Read(data)
+			shards, err := Encode(data, p.k, p.n)
+			if err != nil {
+				t.Fatalf("Encode(k=%d,n=%d,size=%d): %v", p.k, p.n, size, err)
+			}
+			forEachSubset(p.n, p.k, func(idxs []int) {
+				pick := make([][]byte, len(idxs))
+				for i, idx := range idxs {
+					pick[i] = shards[idx]
+				}
+				got, err := Reconstruct(idxs, pick, p.k, p.n, int64(size))
+				if err != nil {
+					t.Fatalf("Reconstruct(k=%d,n=%d,size=%d,idxs=%v): %v", p.k, p.n, size, idxs, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("k=%d n=%d size=%d idxs=%v: payload mismatch", p.k, p.n, size, idxs)
+				}
+			})
+		}
+	}
+}
+
+// forEachSubset calls fn with every size-k subset of {0..n-1}.
+func forEachSubset(n, k int, fn func([]int)) {
+	idxs := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			fn(idxs)
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			idxs[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func TestReconstructRejectsBadShards(t *testing.T) {
+	data := []byte("hello, world: erasure coded")
+	shards, err := Encode(data, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate index.
+	if _, err := Reconstruct([]int{0, 0, 1}, [][]byte{shards[0], shards[0], shards[1]}, 3, 5, int64(len(data))); err == nil {
+		t.Fatal("duplicate shard index accepted")
+	}
+	// Out-of-range index.
+	if _, err := Reconstruct([]int{0, 1, 9}, [][]byte{shards[0], shards[1], shards[2]}, 3, 5, int64(len(data))); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	// Too few shards.
+	if _, err := Reconstruct([]int{0, 1}, shards[:2], 3, 5, int64(len(data))); err == nil {
+		t.Fatal("short shard set accepted")
+	}
+	// Truncated shard payload.
+	if _, err := Reconstruct([]int{0, 1, 2}, [][]byte{shards[0], shards[1][:1], shards[2]}, 3, 5, int64(len(data))); err == nil {
+		t.Fatal("truncated shard accepted")
+	}
+}
+
+func TestFieldArithmetic(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := mul(byte(a), inv(byte(a))); got != 1 {
+			t.Fatalf("a·a⁻¹ = %d for a=%d, want 1", got, a)
+		}
+	}
+	// Distributivity spot checks keep the tables honest.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if mul(a, b^c) != mul(a, b)^mul(a, c) {
+			t.Fatalf("distributivity fails for a=%d b=%d c=%d", a, b, c)
+		}
+	}
+}

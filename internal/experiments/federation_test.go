@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cloud4home/internal/policy"
+)
+
+func TestRunFederation(t *testing.T) {
+	cfg := DefaultFederation(8191)
+	res, err := RunFederation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatalf("zero-config run diverged with backends attached: %s", res.Mismatch)
+	}
+
+	// Each pinned run must land every object on its named backend.
+	for _, name := range []string{"s3", "archive", "metro"} {
+		row, ok := res.FrontierRowFor("pinned-backend:" + name)
+		if !ok {
+			t.Fatalf("pinned %s row missing", name)
+		}
+		if want := fmt.Sprintf("%s:%d", name, cfg.Objects); row.Placements != want {
+			t.Fatalf("pinned %s placements = %q, want %q", name, row.Placements, want)
+		}
+	}
+	s3, _ := res.FrontierRowFor("pinned-backend:s3")
+	archive, _ := res.FrontierRowFor("pinned-backend:archive")
+	metro, _ := res.FrontierRowFor("pinned-backend:metro")
+	cheapest, ok := res.FrontierRowFor("cheapest-backend")
+	if !ok {
+		t.Fatal("cheapest-backend row missing")
+	}
+	fastest, ok := res.FrontierRowFor("fastest-backend")
+	if !ok {
+		t.Fatal("fastest-backend row missing")
+	}
+	// The optimizers must beat (or match) every pinned run on their own
+	// objective: store-side cost for cheapest (reads are invisible to a
+	// store-time policy), store latency for fastest.
+	for _, pinned := range []FrontierRow{s3, archive, metro} {
+		if cheapest.StoreUSD > pinned.StoreUSD {
+			t.Fatalf("cheapest billed %.6f store USD, more than pinned %s's %.6f", cheapest.StoreUSD, pinned.Policy, pinned.StoreUSD)
+		}
+		if fastest.Store.Mean > pinned.Store.Mean {
+			t.Fatalf("fastest stored in %v, slower than pinned %s's %v", fastest.Store.Mean, pinned.Policy, pinned.Store.Mean)
+		}
+	}
+
+	// Redundancy: erasure must match whole-copy replication's availability
+	// at strictly lower storage overhead.
+	repl, ok := res.RedundancyRowFor(fmt.Sprintf("replicas=%d", cfg.Replicas))
+	if !ok {
+		t.Fatal("replication row missing")
+	}
+	ec, ok := res.RedundancyRowFor(fmt.Sprintf("erasure %d-of-%d", cfg.ErasureK, cfg.ErasureN))
+	if !ok {
+		t.Fatal("erasure row missing")
+	}
+	if repl.SuccessRate != 100 || ec.SuccessRate != 100 {
+		t.Fatalf("success rates %.1f (replication) / %.1f (erasure), want both 100", repl.SuccessRate, ec.SuccessRate)
+	}
+	if ec.Overhead >= repl.Overhead {
+		t.Fatalf("erasure overhead %.2fx not below replication's %.2fx", ec.Overhead, repl.Overhead)
+	}
+	if ec.Reconstructs == 0 || ec.ShardsPlaced == 0 {
+		t.Fatalf("erasure arm never exercised the code: %+v", ec)
+	}
+	if repl.Reconstructs != 0 || repl.ShardsPlaced != 0 {
+		t.Fatalf("replication arm bumped shard counters: %+v", repl)
+	}
+
+	for _, tbl := range res.Tables() {
+		if tbl.Render() == "" {
+			t.Fatal("empty table")
+		}
+	}
+}
+
+// TestFederationPolicyDeterministic reruns one frontier policy and the
+// identity arm: placement decisions, modeled times, and bills must be
+// bit-identical across runs.
+func TestFederationPolicyDeterministic(t *testing.T) {
+	cfg := DefaultFederation(4099)
+	for _, pol := range []policy.BackendPolicy{policy.CheapestBackend{}, policy.FastestBackend{}} {
+		a, err := runFrontierPolicy(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runFrontierPolicy(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s not deterministic:\n%+v\nvs\n%+v", pol.Name(), a, b)
+		}
+	}
+}

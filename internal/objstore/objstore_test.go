@@ -243,3 +243,90 @@ func TestQuickCapacityInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReplaceOverwritesInPlace(t *testing.T) {
+	s := NewMem(100, 100)
+	if err := s.Put(Mandatory, Object{Name: "r", Type: "old"}, []byte("old-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replace(Object{Name: "r", Type: "new"}, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	meta, data, err := s.Get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("new")) || meta.Type != "new" {
+		t.Fatalf("got %q/%q after replace", data, meta.Type)
+	}
+	u, _ := s.Usage(Mandatory)
+	if u.Used != 3 || u.Objects != 1 {
+		t.Fatalf("usage after replace = %+v, want Used=3 Objects=1", u)
+	}
+}
+
+func TestReplaceMissingObject(t *testing.T) {
+	s := NewMem(100, 100)
+	if err := s.Replace(Object{Name: "ghost"}, []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+// TestReplaceChargesSizeDelta: growing an object must fit Used − old +
+// new within the bin, and a rejected replace leaves the old object (and
+// the accounting) untouched.
+func TestReplaceChargesSizeDelta(t *testing.T) {
+	s := NewMem(100, 0)
+	if err := s.Put(Mandatory, Object{Name: "grow"}, make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Mandatory, Object{Name: "other"}, make([]byte, 30)); err != nil {
+		t.Fatal(err)
+	}
+	// 60→80 needs 20 more; only 10 free. Must fail and keep the old bytes.
+	if err := s.Replace(Object{Name: "grow"}, make([]byte, 80)); !errors.Is(err, ErrBinFull) {
+		t.Fatalf("got %v, want ErrBinFull", err)
+	}
+	if meta, data, err := s.Get("grow"); err != nil || meta.Size != 60 || len(data) != 60 {
+		t.Fatalf("old object damaged by failed replace: meta=%+v err=%v", meta, err)
+	}
+	u, _ := s.Usage(Mandatory)
+	if u.Used != 90 {
+		t.Fatalf("Used = %d after failed replace, want 90", u.Used)
+	}
+	// 60→70 fits exactly (delta 10): in-place growth may use the space the
+	// object itself releases, which delete-then-put could not guarantee.
+	if err := s.Replace(Object{Name: "grow"}, make([]byte, 70)); err != nil {
+		t.Fatal(err)
+	}
+	u, _ = s.Usage(Mandatory)
+	if u.Used != 100 {
+		t.Fatalf("Used = %d, want 100", u.Used)
+	}
+}
+
+func TestReplaceOnDiskSurvivesAndIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir, 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Mandatory, Object{Name: "d"}, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Replace(Object{Name: "d"}, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	_, data, err := s.Get("d")
+	if err != nil || !bytes.Equal(data, []byte("after")) {
+		t.Fatalf("disk replace: got %q, %v", data, err)
+	}
+	// Sparse replacement truncates to the new size.
+	if err := s.Replace(Object{Name: "d", Size: 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+	meta, _, err := s.Stat("d")
+	if err != nil || meta.Size != 9 {
+		t.Fatalf("sparse disk replace: meta=%+v err=%v", meta, err)
+	}
+}
